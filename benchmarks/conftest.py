@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+All table/figure benchmarks share one ResultCache at ``BENCH_SCALE`` so
+crawl runs are computed once per session (the paper's local-replication
+methodology).  Rendered tables are written to ``bench_results/`` so the
+regenerated paper artefacts survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ResultCache
+
+#: Scale of the synthetic sites used by the benchmark suite.  1.0 is the
+#: full laptop-scale size of the 18 site profiles (≈ 1 k – 6 k pages).
+BENCH_SCALE = 1.0
+
+_RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def bench_cache() -> ResultCache:
+    return ResultCache(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(scale=BENCH_SCALE, sb_runs=1, seeds=(1,))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    return _RESULTS_DIR
+
+
+def save_rendered(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")

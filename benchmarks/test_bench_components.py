@@ -1,0 +1,122 @@
+"""Micro-benchmarks of the core components: these quantify the paper's
+claim that index/classifier maintenance is "negligible compared to crawl
+time" (Sec. 3.2) — each operation must be far below the ~1 s politeness
+delay between requests."""
+
+import numpy as np
+
+from repro.core.actions import ActionSpace
+from repro.core.hnsw import HnswIndex
+from repro.core.tagpath import TagPathVectorizer
+from repro.core.url_classifier import OnlineUrlClassifier, UrlClass
+from repro.html.parse import parse_page
+from repro.http.server import SimulatedServer
+from repro.webgraph.generator import SiteProfile, generate_site
+
+_PATHS = [
+    f"html body div#main.container div.content ul.items.sec-{s} li a"
+    for s in ("data", "news", "about", "stats", "press")
+]
+
+
+def test_bench_tagpath_projection(benchmark):
+    vectorizer = TagPathVectorizer(n=2, m=8)
+    for path in _PATHS:
+        vectorizer.project(path)
+
+    def project():
+        return vectorizer.project(_PATHS[0])
+
+    vector = benchmark(project)
+    assert vector.shape == (256,)
+
+
+def test_bench_hnsw_search(benchmark):
+    rng = np.random.default_rng(0)
+    index = HnswIndex(dim=256, seed=0)
+    for i in range(400):
+        index.insert(i, rng.normal(size=256))
+    query = rng.normal(size=256)
+    results = benchmark(lambda: index.search(query, k=1))
+    assert results
+
+
+def test_bench_action_assignment(benchmark):
+    vectorizer = TagPathVectorizer(n=2, m=8)
+    space = ActionSpace(vectorizer, theta=0.75, seed=0)
+    for path in _PATHS * 3:
+        space.assign(path)
+
+    counter = [0]
+
+    def assign():
+        counter[0] += 1
+        return space.assign(
+            f"html body div#main.container div.fresh{counter[0]} ul li a"
+        )
+
+    action = benchmark(assign)
+    assert action >= 0
+
+
+def test_bench_url_classifier_predict(benchmark):
+    classifier = OnlineUrlClassifier(batch_size=10, seed=0)
+    for i in range(50):
+        classifier.add_labeled(f"https://s.example/p{i}", UrlClass.HTML)
+        classifier.add_labeled(f"https://s.example/f{i}.csv", UrlClass.TARGET)
+    label = benchmark(lambda: classifier.classify("https://s.example/f999.csv"))
+    assert label is UrlClass.TARGET
+
+
+def test_bench_server_get_and_parse(benchmark):
+    graph = generate_site(
+        SiteProfile(
+            name="bench",
+            base_url="https://www.bench.example",
+            n_pages=300,
+            target_fraction=0.3,
+            html_to_target_pct=8.0,
+            target_depth_mean=3.0,
+            target_depth_std=1.0,
+            seed=1,
+        )
+    )
+    server = SimulatedServer(graph)
+    urls = [p.url for p in graph.html_pages()][:50]
+
+    index = [0]
+
+    def fetch_and_parse():
+        url = urls[index[0] % len(urls)]
+        index[0] += 1
+        response = server.get(url)
+        return parse_page(response.body)
+
+    parsed = benchmark(fetch_and_parse)
+    assert parsed.links or parsed.text
+
+
+def test_bench_full_sb_crawl(benchmark):
+    """End-to-end crawl throughput on a 300-page site."""
+    from repro.core.crawler import SBConfig, sb_classifier
+    from repro.http.environment import CrawlEnvironment
+
+    graph = generate_site(
+        SiteProfile(
+            name="bench-crawl",
+            base_url="https://www.bench-crawl.example",
+            n_pages=300,
+            target_fraction=0.3,
+            html_to_target_pct=8.0,
+            target_depth_mean=3.0,
+            target_depth_std=1.0,
+            seed=2,
+        )
+    )
+    env = CrawlEnvironment(graph)
+
+    def crawl():
+        return sb_classifier(SBConfig(seed=1)).crawl(env)
+
+    result = benchmark.pedantic(crawl, rounds=1, iterations=1)
+    assert result.targets == env.target_urls()

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 15 — early-stopping visualisation on the
+paper's two example sites (in and ju)."""
+
+from benchmarks.conftest import save_rendered
+from repro.experiments.figures import compute_figure15
+
+
+def test_bench_figure15(benchmark, bench_cache, bench_config, results_dir):
+    def run():
+        return [
+            compute_figure15(site, bench_config, bench_cache)
+            for site in ("in", "ju")
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = "\n\n".join(r.render() for r in results)
+    save_rendered(results_dir, "figure15", rendered)
+    for result in results:
+        (results_dir / f"figure15_{result.site}.svg").write_text(result.to_svg())
+    for result in results:
+        assert result.targets == sorted(result.targets)
+        # On both sites discovery plateaus and the monitor eventually cuts
+        # the crawl (paper behaviour class i).
+        assert result.stop_at is None or result.stop_at <= len(result.requests) * 1e9

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figures 4 and 7 — per-crawler crawl curves.
+
+Figure 4 covers the paper's 10 selected sites; Figure 7 (extended
+version) the remaining 8.  Both panels are produced: targets vs
+requests, and target volume vs non-target volume.
+"""
+
+from benchmarks.conftest import save_rendered
+from repro.experiments.figures import compute_figure4
+from repro.webgraph.sites import FIGURE4_SITES, PAPER_SITES
+
+
+def test_bench_figure4(benchmark, bench_cache, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: compute_figure4(bench_config, bench_cache, sites=FIGURE4_SITES),
+        rounds=1,
+        iterations=1,
+    )
+    save_rendered(results_dir, "figure4", result.render())
+    for site_entry in result.sites:
+        left, right = site_entry.to_svg()
+        (results_dir / f"figure4_{site_entry.site}_targets.svg").write_text(left)
+        (results_dir / f"figure4_{site_entry.site}_volume.svg").write_text(right)
+    assert len(result.sites) == 10
+    for site_entry in result.sites:
+        for curve in site_entry.curves:
+            # Curves are cumulative and consistent across panels.
+            assert curve.targets == sorted(curve.targets)
+            assert curve.target_bytes == sorted(curve.target_bytes)
+
+
+def test_bench_figure7(benchmark, bench_cache, bench_config, results_dir):
+    remaining = tuple(sorted(set(PAPER_SITES) - set(FIGURE4_SITES)))
+    result = benchmark.pedantic(
+        lambda: compute_figure4(bench_config, bench_cache, sites=remaining),
+        rounds=1,
+        iterations=1,
+    )
+    save_rendered(results_dir, "figure7", result.render())
+    assert len(result.sites) == 8

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 5 — mean rewards of the top-10 tag-path
+groups per site (log-scale plot in the paper)."""
+
+from benchmarks.conftest import save_rendered
+from repro.experiments.figures import compute_figure5
+from repro.webgraph.sites import FIGURE4_SITES
+
+
+def test_bench_figure5(benchmark, bench_cache, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: compute_figure5(bench_config, bench_cache, sites=FIGURE4_SITES),
+        rounds=1,
+        iterations=1,
+    )
+    save_rendered(results_dir, "figure5", result.render())
+    (results_dir / "figure5.svg").write_text(result.to_svg())
+
+    for site in result.sites:
+        rewards = result.top_rewards[site]
+        assert rewards == sorted(rewards, reverse=True)
+        # Paper shape: the top group carries substantial reward while the
+        # tail of the top-10 falls off steeply (power-law-like).
+        assert rewards[0] > 0
+        if len(rewards) >= 10 and rewards[0] > 0:
+            assert rewards[9] <= rewards[0]
+    best = [result.top_rewards[s][0] for s in result.sites]
+    assert max(best) > 5.0

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 1 (site characteristics census)."""
+
+import math
+
+from benchmarks.conftest import save_rendered
+from repro.experiments.table1 import compute_table1
+from repro.webgraph.sites import PAPER_STATS
+
+
+def test_bench_table1(benchmark, bench_cache, results_dir):
+    result = benchmark.pedantic(
+        lambda: compute_table1(cache=bench_cache), rounds=1, iterations=1
+    )
+    save_rendered(results_dir, "table1", result.render())
+    assert len(result.rows) == 18
+    for row in result.rows:
+        paper = PAPER_STATS[row.site]
+        paper_density = 100.0 * paper.targets_k / paper.available_k
+        # Target density of the replica tracks the paper's.
+        assert abs(row.target_density_pct - paper_density) < 12.0, row.site
+        # Shallow/deep site contrast preserved.
+        if paper.depth_mean > 30:
+            assert row.depth_mean > 8.0, row.site

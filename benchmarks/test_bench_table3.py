@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 3 — % non-target volume before 90 % of
+target volume (shares the Table 2 crawl runs via the session cache)."""
+
+import math
+
+from benchmarks.conftest import save_rendered
+from repro.experiments.table3 import compute_table3
+
+
+def test_bench_table3(benchmark, bench_cache, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: compute_table3(bench_config, bench_cache), rounds=1, iterations=1
+    )
+    save_rendered(results_dir, "table3", result.render())
+
+    sb = result.measured["SB-CLASSIFIER"]
+    assert all(v > 0 for v in sb)
+    # SB retrieves far less junk volume than BFS on a majority of sites.
+    bfs = result.measured["BFS"]
+    wins = sum(
+        1 for x, y in zip(sb, bfs)
+        if x < y or (math.isinf(x) and math.isinf(y))
+    )
+    assert wins >= 11, (sb, bfs)

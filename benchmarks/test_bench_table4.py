@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table 4 — hyper-parameter study (α, n, θ) with
+SB-ORACLE on the 11 fully-crawled sites."""
+
+import math
+
+from benchmarks.conftest import save_rendered
+from repro.experiments.table4 import compute_table4
+
+
+def _mean_requests(values):
+    finite = [req for req, _ in values if not math.isinf(req)]
+    return sum(finite) / len(finite) if finite else math.inf
+
+
+def test_bench_table4(benchmark, bench_cache, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: compute_table4(bench_config, bench_cache), rounds=1, iterations=1
+    )
+    save_rendered(results_dir, "table4", result.render())
+
+    assert len(result.sites) == 11
+    # Paper shape: alpha = 2sqrt2 is no worse than massive exploration.
+    assert _mean_requests(result.rows["alpha=2sqrt2"]) <= (
+        _mean_requests(result.rows["alpha=30"]) + 5.0
+    )
+    # n >= 2 (order-preserving n-grams) at least matches n = 1 on average.
+    assert _mean_requests(result.rows["n=2"]) <= (
+        _mean_requests(result.rows["n=1"]) + 8.0
+    )
+    # theta = 0.75 at least matches theta = 0.95 (over-fragmentation).
+    assert _mean_requests(result.rows["theta=0.75"]) <= (
+        _mean_requests(result.rows["theta=0.95"]) + 8.0
+    )

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table 5 (+ confusion Tables 8–16) — the URL
+classifier model/feature study on the fully-crawled sites."""
+
+import math
+
+from benchmarks.conftest import save_rendered
+from repro.experiments.table5 import compute_table5
+
+
+def test_bench_table5(benchmark, bench_cache, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: compute_table5(bench_config, bench_cache), rounds=1, iterations=1
+    )
+    save_rendered(results_dir, "table5", result.render())
+
+    assert len(result.measured) == 8
+    baseline = result.measured["URL_ONLY-LR"]
+    finite_baseline = [v for v in baseline if not math.isinf(v)]
+    assert finite_baseline
+    # Paper finding: no variant improves consistently over URL_ONLY-LR.
+    def mean(values):
+        finite = [v for v in values if not math.isinf(v)]
+        return sum(finite) / len(finite) if finite else math.inf
+
+    base_mean = mean(baseline)
+    better = [
+        variant
+        for variant, values in result.measured.items()
+        if mean(values) < base_mean - 5.0
+    ]
+    assert len(better) <= 2, better
+    # Misclassification stays low for URL_ONLY models (paper: 2.5–3 %).
+    assert result.mr["URL_ONLY-LR"] < 12.0
+    # The model itself never predicts "Neither" (two-class classifier);
+    # the only Neither entries come from HEAD-labelled URLs during the
+    # initial training phase, a vanishing fraction of classifications.
+    for matrix in result.confusions.values():
+        for true_label in matrix.labels:
+            assert matrix.percentage(true_label, "Neither") < 0.5

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 6 — mean/STD of non-zero action rewards,
+showing the heavy-tailed reward distribution across tag-path groups."""
+
+from benchmarks.conftest import save_rendered
+from repro.experiments.figures import compute_figure5
+from repro.experiments.table6 import compute_table6
+from repro.webgraph.sites import PAPER_SITES
+
+
+def test_bench_table6(benchmark, bench_cache, bench_config, results_dir):
+    result = benchmark.pedantic(
+        lambda: compute_table6(bench_config, bench_cache), rounds=1, iterations=1
+    )
+    save_rendered(results_dir, "table6", result.render())
+
+    assert len(result.sites) == 18
+    assert all(m >= 0 for m in result.means)
+    # Paper shape (Sec. 4.7): the top tag-path group's reward far exceeds
+    # the site's mean over non-zero groups on most sites; rewards are
+    # dispersed (positive STD) wherever there is more than one group.
+    figure5 = compute_figure5(bench_config, bench_cache,
+                              sites=tuple(sorted(PAPER_SITES)))
+    dominated = 0
+    for site, mean in zip(result.sites, result.means):
+        top = figure5.top_rewards[site][0] if figure5.top_rewards[site] else 0.0
+        if mean > 0 and top >= 2.0 * mean:
+            dominated += 1
+    assert dominated >= 10, dominated
+    assert sum(1 for s in result.stds if s > 0) >= 12

@@ -1,0 +1,48 @@
+"""Benchmark: Prop. 4 machinery — Set Cover reduction and exact solvers."""
+
+import random
+
+from repro.analysis.theory import (
+    SetCoverInstance,
+    min_crawl_cost,
+    reduce_set_cover_to_crawl,
+    set_cover_exact,
+    set_cover_greedy,
+)
+
+
+def _random_instance(seed: int, n_elements: int = 7, n_subsets: int = 6):
+    rng = random.Random(seed)
+    subsets = [
+        frozenset(
+            rng.sample(range(n_elements), rng.randint(1, n_elements - 1))
+        )
+        for _ in range(n_subsets)
+    ]
+    covered = set().union(*subsets)
+    for element in range(n_elements):
+        if element not in covered:
+            subsets.append(frozenset({element}))
+    return SetCoverInstance(n_elements=n_elements, subsets=tuple(subsets))
+
+
+def test_bench_reduction_equivalence(benchmark):
+    instances = [_random_instance(seed) for seed in range(10)]
+
+    def run():
+        checked = 0
+        for instance in instances:
+            crawl = reduce_set_cover_to_crawl(instance)
+            optimum = len(set_cover_exact(instance))
+            assert min_crawl_cost(crawl) == instance.n_elements + optimum + 1
+            checked += 1
+        return checked
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) == 10
+
+
+def test_bench_greedy_speed(benchmark):
+    instance = _random_instance(99, n_elements=60, n_subsets=40)
+    cover = benchmark(lambda: set_cover_greedy(instance))
+    covered = set().union(*(instance.subsets[i] for i in cover))
+    assert covered == set(range(instance.n_elements))

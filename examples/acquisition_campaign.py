@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Multi-site acquisition campaign: crawl several statistical agencies
+with SB-CLASSIFIER and schedule the requests over a polite worker pool.
+
+The paper's fact-checking application needs data from *many* trusted
+organisations; politeness (1 request/second/site) makes sequential
+crawling slow, but requests to different hosts interleave freely.
+
+Run:  python examples/acquisition_campaign.py
+"""
+
+from repro import CrawlEnvironment, SBConfig, load_paper_site, sb_classifier
+from repro.campaign import SiteWorkload, schedule_campaign
+
+SITES = ("qa", "cl", "cn", "be", "ju")
+
+
+def main() -> None:
+    workloads = []
+    print("crawling (simulated) sites with SB-CLASSIFIER:")
+    for site in SITES:
+        env = CrawlEnvironment(load_paper_site(site, scale=0.5))
+        result = sb_classifier(SBConfig(seed=1)).crawl(env)
+        print(f"  {site}: {result.n_targets:5d} targets, "
+              f"{result.n_requests:5d} requests")
+        workloads.append(SiteWorkload.from_trace(result.trace))
+
+    print("\nscheduling under 1 request/second/site politeness:")
+    for n_workers in (1, 2, 4, 8):
+        report = schedule_campaign(workloads, n_workers=n_workers)
+        print(f"  {report.render()}")
+
+    print(
+        "\nper-site politeness, not CPU, is the bottleneck: even one worker"
+        "\ninterleaves requests across sites during the 1-second waits, so"
+        "\nthe campaign makespan collapses to the longest single site"
+        "\n(ju here) instead of the sum of all sites."
+    )
+
+
+if __name__ == "__main__":
+    main()

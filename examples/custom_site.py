@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Build a *custom* synthetic website, crawl it for a custom target set
+(CSV files only), and replicate it into a local SQLite database — the
+paper's evaluation infrastructure (Sec. 4.4).
+
+Run:  python examples/custom_site.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import CrawlEnvironment, SBConfig, SiteProfile, generate_site, sb_classifier
+from repro.http.cache import PageStore, ReplicatingFetcher, replicate_site
+from repro.sd.content import TargetContentGenerator
+from repro.sd.detector import count_statistic_tables
+
+
+def main() -> None:
+    # 1. Define a site from scratch: a mid-size open-data portal with a
+    #    deep paginated catalog, CMS-style extensionless URLs and some
+    #    unique-id DOM noise.
+    profile = SiteProfile(
+        name="open-data-portal",
+        base_url="https://data.agency.example",
+        n_pages=1500,
+        target_fraction=0.35,
+        html_to_target_pct=6.0,
+        target_depth_mean=8.0,
+        target_depth_std=4.0,
+        url_style="node",
+        languages=("en", "fr"),
+        palette_index=3,
+        unique_id_noise=0.1,
+        seed=2024,
+    )
+    graph = generate_site(profile)
+    stats = graph.statistics()
+    print(f"generated {stats.n_available} pages, {stats.n_targets} targets, "
+          f"target depth {stats.target_depth_mean:.1f}"
+          f"±{stats.target_depth_std:.1f}")
+
+    # 2. Crawl for CSV files only (the target list is user-defined).
+    csv_only = frozenset({"text/csv", "text/x-csv", "application/csv",
+                          "text/comma-separated-values"})
+    env = CrawlEnvironment(graph, target_mimes=csv_only)
+    result = sb_classifier(SBConfig(seed=7)).crawl(env)
+    print(f"\nCSV-only crawl: {result.n_targets}/{env.total_targets()} CSV "
+          f"targets in {result.n_requests} requests")
+
+    # 3. Inspect retrieved files for statistics tables (Table 7 pipeline).
+    generator = TargetContentGenerator(profile.name, seed=0)
+    sampled = sorted(result.targets)[:10]
+    with_tables = 0
+    for url in sampled:
+        content = generator.generate(url, "text/csv")
+        if count_statistic_tables(content.body, "text/csv") > 0:
+            with_tables += 1
+    print(f"statistics tables found in {with_tables}/{len(sampled)} "
+          f"sampled CSV files")
+
+    # 4. Replicate the site into a local database, then crawl fully
+    #    offline from it ("local" mode of the artifact kit).
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = Path(tmp) / "replica.db"
+        with PageStore(db_path) as store:
+            stored = replicate_site(env.server, store)
+            print(f"\nreplicated {stored} resources into {db_path.name} "
+                  f"({db_path.stat().st_size / 1e6:.1f} MB)")
+            fetcher = ReplicatingFetcher(env.server, store, mode="local")
+            response = fetcher.get(graph.root_url)
+            print(f"offline fetch of root: HTTP {response.status}, "
+                  f"{len(response.body)} bytes, 0 live requests "
+                  f"(n_live_fetches={fetcher.n_live_fetches})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim for environments whose tooling predates PEP 660 editable
+installs (``pip install -e .`` falls back to ``setup.py develop`` here).
+All project metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

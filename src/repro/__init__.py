@@ -1,0 +1,49 @@
+"""repro — reproduction of "Efficient Crawling for Scalable Web Data
+Acquisition" (EDBT 2026).
+
+A focused-crawling library built around SB-CLASSIFIER, a sleeping-bandit
+crawler that learns which DOM tag paths lead to pages rich in data-file
+targets, plus every substrate the paper's evaluation needs: a synthetic
+web (18 site profiles mirroring the paper's Table 1), a simulated HTTP
+layer with request/volume cost accounting, from-scratch online learning
+models and an HNSW index, the six baseline crawlers, and an experiment
+harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import CrawlEnvironment, SBConfig, sb_classifier, load_paper_site
+
+    env = CrawlEnvironment(load_paper_site("ju", scale=0.3))
+    result = sb_classifier(SBConfig(seed=1)).crawl(env, budget=1000)
+    print(result.n_targets, "targets in", result.n_requests, "requests")
+"""
+
+from repro.core.base import Crawler, CrawlResult
+from repro.core.crawler import SBConfig, SBCrawler, sb_classifier, sb_oracle
+from repro.http.environment import CrawlEnvironment
+from repro.webgraph.generator import SiteProfile, generate_site
+from repro.webgraph.sites import (
+    FULLY_CRAWLED_SITES,
+    PAPER_SITES,
+    load_paper_site,
+    paper_site_profiles,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Crawler",
+    "CrawlResult",
+    "SBConfig",
+    "SBCrawler",
+    "sb_classifier",
+    "sb_oracle",
+    "CrawlEnvironment",
+    "SiteProfile",
+    "generate_site",
+    "FULLY_CRAWLED_SITES",
+    "PAPER_SITES",
+    "load_paper_site",
+    "paper_site_profiles",
+    "__version__",
+]

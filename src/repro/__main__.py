@@ -1,0 +1,134 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro table2 --scale 0.3 --runs 1
+    python -m repro figure5
+    python -m repro all --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    compute_figure4,
+    compute_figure5,
+    compute_figure15,
+)
+from repro.experiments.runner import ResultCache
+from repro.experiments.table1 import compute_table1
+from repro.experiments.table2 import compute_table2
+from repro.experiments.table3 import compute_table3
+from repro.experiments.table4 import compute_table4
+from repro.experiments.table5 import compute_table5
+from repro.experiments.table6 import compute_table6
+from repro.experiments.table7 import compute_table7
+from repro.webgraph.sites import FIGURE4_SITES, PAPER_SITES
+
+
+def _figure7(config: ExperimentConfig, cache: ResultCache):
+    remaining = tuple(sorted(set(PAPER_SITES) - set(FIGURE4_SITES)))
+    return compute_figure4(config, cache, sites=remaining)
+
+
+EXPERIMENTS = {
+    "table1": lambda config, cache: compute_table1(cache=cache),
+    "table2": compute_table2,
+    "table3": compute_table3,
+    "table4": compute_table4,
+    "table5": compute_table5,
+    "table6": compute_table6,
+    "table7": compute_table7,
+    "figure4": lambda config, cache: compute_figure4(config, cache),
+    "figure5": lambda config, cache: compute_figure5(config, cache),
+    "figure7": _figure7,
+    "figure15": lambda config, cache: compute_figure15("in", config, cache),
+}
+
+
+def _compare(config: ExperimentConfig, cache: ResultCache):
+    """Statistical crawler comparison: SB-CLASSIFIER vs every baseline,
+    paired over all sites, with bootstrap CIs and Wilcoxon tests."""
+    from repro.analysis.metrics import requests_to_fraction
+    from repro.analysis.stats import compare_paired
+    from repro.experiments.runner import CRAWLER_ORDER
+
+    sites = sorted(PAPER_SITES)
+    metrics: dict[str, list[float]] = {}
+    for crawler in CRAWLER_ORDER:
+        values = []
+        for site in sites:
+            env = cache.env(site)
+            result = cache.run(site, crawler, seed=config.run_seeds()[0])
+            values.append(
+                requests_to_fraction(
+                    result.trace, env.total_targets(), env.n_available()
+                )
+            )
+        metrics[crawler] = values
+
+    class _Report:
+        def render(self) -> str:
+            lines = ["Paired comparison (requests-% to 90% targets, 18 sites)"]
+            for baseline in CRAWLER_ORDER:
+                if baseline == "SB-CLASSIFIER":
+                    continue
+                comparison = compare_paired(
+                    metrics["SB-CLASSIFIER"], metrics[baseline]
+                )
+                lines.append(
+                    "  " + comparison.render("SB-CLASSIFIER", baseline)
+                )
+            return "\n".join(lines)
+
+    return _Report()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate a table or figure of the paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "compare"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.5,
+        help="site scale factor (default 0.5; 1.0 = full laptop scale)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=1,
+        help="number of seeds to average stochastic crawlers over",
+    )
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(
+        scale=args.scale, sb_runs=args.runs,
+        seeds=tuple(range(1, args.runs + 1)),
+    )
+    cache = ResultCache(scale=args.scale)
+    if args.experiment == "compare":
+        names = ["compare"]
+        runners = {"compare": _compare}
+    elif args.experiment == "all":
+        names = sorted(EXPERIMENTS)
+        runners = EXPERIMENTS
+    else:
+        names = [args.experiment]
+        runners = EXPERIMENTS
+    for name in names:
+        started = time.time()
+        result = runners[name](config, cache)
+        print(result.render())
+        print(f"[{name} computed in {time.time() - started:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

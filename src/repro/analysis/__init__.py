@@ -1,0 +1,18 @@
+"""Analysis utilities: crawl traces, evaluation metrics and complexity theory."""
+
+from repro.analysis.trace import CrawlRecord, CrawlTrace
+from repro.analysis.metrics import (
+    requests_to_fraction,
+    non_target_volume_fraction,
+    targets_vs_requests_curve,
+    volume_curve,
+)
+
+__all__ = [
+    "CrawlRecord",
+    "CrawlTrace",
+    "requests_to_fraction",
+    "non_target_volume_fraction",
+    "targets_vs_requests_curve",
+    "volume_curve",
+]

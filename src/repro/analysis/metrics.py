@@ -1,0 +1,119 @@
+"""Evaluation metrics computed from crawl traces.
+
+Reproduces the paper's headline metrics:
+
+* **Table 2**: percentage of requests (GET + HEAD, relative to the
+  site's number of available pages) a crawler performs before having
+  retrieved 90 % of the targets; ∞ if it never gets there.
+* **Table 3**: fraction of the site's non-target volume retrieved
+  before reaching 90 % of the total target volume.
+* **Figures 4/7**: the targets-vs-requests and volume-vs-volume curves.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.trace import CrawlTrace
+from repro.webgraph.model import PageKind, WebsiteGraph
+
+INFINITY = math.inf
+
+
+def requests_to_fraction(
+    trace: CrawlTrace,
+    total_targets: int,
+    n_available: int,
+    fraction: float = 0.9,
+) -> float:
+    """Table 2 metric: % of requests to retrieve ``fraction`` of targets.
+
+    The denominator is the site's number of available pages, so 100 means
+    "as many requests as there are pages"; HEAD requests count too.
+    Returns ``math.inf`` when the trace never reaches the threshold.
+    """
+    if total_targets <= 0 or n_available <= 0:
+        return INFINITY
+    needed = math.ceil(fraction * total_targets)
+    found = 0
+    for index, record in enumerate(trace.records):
+        if record.is_target:
+            found += 1
+            if found >= needed:
+                return 100.0 * (index + 1) / n_available
+    return INFINITY
+
+
+def non_target_volume_fraction(
+    trace: CrawlTrace,
+    total_target_bytes: int,
+    total_non_target_bytes: int,
+    fraction: float = 0.9,
+) -> float:
+    """Table 3 metric: % of the site's non-target volume downloaded
+    before the crawler accumulated ``fraction`` of the total target
+    volume.  ``math.inf`` when the threshold is never reached."""
+    if total_target_bytes <= 0 or total_non_target_bytes <= 0:
+        return INFINITY
+    needed = fraction * total_target_bytes
+    target_bytes = 0
+    non_target_bytes = 0
+    for record in trace.records:
+        if record.is_target:
+            target_bytes += record.size
+            if target_bytes >= needed:
+                return 100.0 * non_target_bytes / total_non_target_bytes
+        else:
+            non_target_bytes += record.size
+    return INFINITY
+
+
+def site_non_target_bytes(graph: WebsiteGraph) -> int:
+    """Total volume of the site's available non-target resources."""
+    return sum(
+        p.size
+        for p in graph.available_pages()
+        if p.kind in (PageKind.HTML, PageKind.OTHER)
+    )
+
+
+def targets_vs_requests_curve(trace: CrawlTrace) -> tuple[np.ndarray, np.ndarray]:
+    """Left-hand Figure 4 curves: cumulative targets vs requests issued."""
+    n = len(trace.records)
+    requests = np.arange(1, n + 1, dtype=np.int64)
+    hits = np.fromiter(
+        (1 if r.is_target else 0 for r in trace.records), dtype=np.int64, count=n
+    )
+    return requests, np.cumsum(hits)
+
+
+def volume_curve(trace: CrawlTrace) -> tuple[np.ndarray, np.ndarray]:
+    """Right-hand Figure 4 curves: target volume vs non-target volume.
+
+    Returns (cumulative non-target bytes, cumulative target bytes) per
+    request, so plotting y against x reproduces the paper's panels.
+    """
+    n = len(trace.records)
+    target = np.zeros(n, dtype=np.int64)
+    non_target = np.zeros(n, dtype=np.int64)
+    for i, record in enumerate(trace.records):
+        if record.is_target:
+            target[i] = record.size
+        else:
+            non_target[i] = record.size
+    return np.cumsum(non_target), np.cumsum(target)
+
+
+def auc_targets_per_request(trace: CrawlTrace, total_targets: int) -> float:
+    """Normalised area under the targets-vs-requests curve in [0, 1].
+
+    1.0 means all targets were retrieved immediately (OMNISCIENT-like);
+    0.0 means none were found.  A convenient scalar for regression tests
+    and ablation comparisons.
+    """
+    if total_targets <= 0 or len(trace.records) == 0:
+        return 0.0
+    _, cumulative = targets_vs_requests_curve(trace)
+    return float(cumulative.sum()) / (len(trace.records) * total_targets)

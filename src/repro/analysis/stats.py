@@ -1,0 +1,125 @@
+"""Statistical comparison utilities for crawler evaluations.
+
+The paper reports means ± STD over 15 runs; a careful reproduction also
+wants uncertainty on the *comparisons*: paired bootstrap confidence
+intervals on per-site metric differences, and the Wilcoxon signed-rank
+test across sites (the standard paired non-parametric test for
+crawler-A-vs-crawler-B questions).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of comparing crawler A vs crawler B over paired sites."""
+
+    mean_difference: float        # mean(A - B); negative = A better (lower)
+    ci_low: float
+    ci_high: float
+    n_pairs: int
+    wins_a: int                   # sites where A's metric is lower
+    wins_b: int
+    p_value: float | None = None  # Wilcoxon signed-rank (None if n too small)
+
+    @property
+    def significant(self) -> bool:
+        """CI excludes zero (95 % level)."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+    def render(self, name_a: str = "A", name_b: str = "B") -> str:
+        p_text = f", Wilcoxon p={self.p_value:.4f}" if self.p_value is not None else ""
+        return (
+            f"{name_a} - {name_b}: mean diff {self.mean_difference:+.2f} "
+            f"[{self.ci_low:+.2f}, {self.ci_high:+.2f}] over {self.n_pairs} "
+            f"sites; {name_a} wins {self.wins_a}, {name_b} wins "
+            f"{self.wins_b}{p_text}"
+        )
+
+
+def bootstrap_mean_ci(
+    values: list[float],
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float, float]:
+    """(mean, ci_low, ci_high) via percentile bootstrap."""
+    if not values:
+        raise ValueError("need at least one value")
+    rng = random.Random(seed)
+    n = len(values)
+    mean = sum(values) / n
+    resampled = []
+    for _ in range(n_resamples):
+        sample = [values[rng.randrange(n)] for _ in range(n)]
+        resampled.append(sum(sample) / n)
+    resampled.sort()
+    low_index = int((1.0 - confidence) / 2.0 * n_resamples)
+    high_index = min(n_resamples - 1, n_resamples - 1 - low_index)
+    return mean, resampled[low_index], resampled[high_index]
+
+
+def compare_paired(
+    metrics_a: list[float],
+    metrics_b: list[float],
+    seed: int = 0,
+) -> PairedComparison:
+    """Paired comparison of two crawlers' per-site metrics.
+
+    Infinite metrics ("never reached 90 %") are handled by censoring:
+    an ∞ loses against any finite value; pairs where both are ∞ tie and
+    are dropped from the difference statistics.
+    """
+    if len(metrics_a) != len(metrics_b):
+        raise ValueError("paired metrics must have the same length")
+    wins_a = wins_b = 0
+    differences: list[float] = []
+    for a, b in zip(metrics_a, metrics_b):
+        a_inf, b_inf = math.isinf(a), math.isinf(b)
+        if a_inf and b_inf:
+            continue
+        if a_inf:
+            wins_b += 1
+            continue
+        if b_inf:
+            wins_a += 1
+            continue
+        if a < b:
+            wins_a += 1
+        elif b < a:
+            wins_b += 1
+        differences.append(a - b)
+    if not differences:
+        return PairedComparison(
+            mean_difference=0.0, ci_low=0.0, ci_high=0.0,
+            n_pairs=0, wins_a=wins_a, wins_b=wins_b,
+        )
+    mean, low, high = bootstrap_mean_ci(differences, seed=seed)
+    p_value = _wilcoxon_p(differences)
+    return PairedComparison(
+        mean_difference=mean,
+        ci_low=low,
+        ci_high=high,
+        n_pairs=len(differences),
+        wins_a=wins_a,
+        wins_b=wins_b,
+        p_value=p_value,
+    )
+
+
+def _wilcoxon_p(differences: list[float]) -> float | None:
+    """Two-sided Wilcoxon signed-rank p-value via scipy when applicable."""
+    nonzero = [d for d in differences if d != 0.0]
+    if len(nonzero) < 6:
+        return None
+    try:
+        from scipy import stats
+
+        result = stats.wilcoxon(nonzero, alternative="two-sided")
+        return float(result.pvalue)
+    except ImportError:  # pragma: no cover - scipy is a test-env dependency
+        return None

@@ -1,0 +1,183 @@
+"""Dependency-free SVG line charts for the paper's figures.
+
+The benchmark harness renders Figure 4/5/15 data both as ASCII (for the
+terminal) and as standalone SVG files (for reports).  Only the features
+those figures need are implemented: multi-series line charts, linear or
+log y-axis, axis ticks, a legend and an optional vertical marker (the
+early-stopping cut of Figure 15).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+_COLORS = (
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+    "#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2",
+)
+
+_WIDTH = 640
+_HEIGHT = 400
+_MARGIN_LEFT = 70
+_MARGIN_BOTTOM = 50
+_MARGIN_TOP = 40
+_MARGIN_RIGHT = 160
+
+
+@dataclass
+class Series:
+    name: str
+    xs: list[float]
+    ys: list[float]
+
+
+@dataclass
+class LineChart:
+    """A multi-series line chart rendered to SVG text."""
+
+    title: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    log_y: bool = False
+    series: list[Series] = field(default_factory=list)
+    #: x position of an optional vertical marker line (Figure 15)
+    marker_x: float | None = None
+
+    def add_series(self, name: str, xs: list[float], ys: list[float]) -> None:
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have the same length")
+        self.series.append(Series(name=name, xs=list(xs), ys=list(ys)))
+
+    # -- scaling -----------------------------------------------------------
+
+    def _y_transform(self, y: float) -> float:
+        if self.log_y:
+            return math.log10(max(y, 1e-9))
+        return y
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [x for s in self.series for x in s.xs] or [0.0, 1.0]
+        ys = [self._y_transform(y) for s in self.series for y in s.ys] or [0.0, 1.0]
+        x_min, x_max = min(xs), max(xs)
+        y_min, y_max = min(ys), max(ys)
+        if x_max == x_min:
+            x_max = x_min + 1.0
+        if y_max == y_min:
+            y_max = y_min + 1.0
+        return x_min, x_max, y_min, y_max
+
+    # -- rendering -------------------------------------------------------------
+
+    def to_svg(self) -> str:
+        x_min, x_max, y_min, y_max = self._bounds()
+        plot_w = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+        plot_h = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+
+        def px(x: float) -> float:
+            return _MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w
+
+        def py(y: float) -> float:
+            ty = self._y_transform(y)
+            return _MARGIN_TOP + plot_h - (ty - y_min) / (y_max - y_min) * plot_h
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+            f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}">',
+            f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+            f'<text x="{_WIDTH / 2}" y="22" text-anchor="middle" '
+            f'font-size="15" font-family="sans-serif">{_escape(self.title)}</text>',
+        ]
+        # Axes.
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" x2="{_MARGIN_LEFT}" '
+            f'y2="{_MARGIN_TOP + plot_h}" stroke="black"/>'
+        )
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP + plot_h}" '
+            f'x2="{_MARGIN_LEFT + plot_w}" y2="{_MARGIN_TOP + plot_h}" '
+            f'stroke="black"/>'
+        )
+        # Ticks (5 per axis).
+        for i in range(6):
+            fx = x_min + (x_max - x_min) * i / 5
+            tick_x = px(fx)
+            parts.append(
+                f'<text x="{tick_x:.1f}" y="{_MARGIN_TOP + plot_h + 18}" '
+                f'font-size="10" text-anchor="middle" '
+                f'font-family="sans-serif">{_format_tick(fx)}</text>'
+            )
+            ty = y_min + (y_max - y_min) * i / 5
+            label = 10**ty if self.log_y else ty
+            tick_y = _MARGIN_TOP + plot_h - plot_h * i / 5
+            parts.append(
+                f'<text x="{_MARGIN_LEFT - 6}" y="{tick_y + 3:.1f}" '
+                f'font-size="10" text-anchor="end" '
+                f'font-family="sans-serif">{_format_tick(label)}</text>'
+            )
+        # Axis labels.
+        if self.x_label:
+            parts.append(
+                f'<text x="{_MARGIN_LEFT + plot_w / 2}" y="{_HEIGHT - 10}" '
+                f'font-size="12" text-anchor="middle" '
+                f'font-family="sans-serif">{_escape(self.x_label)}</text>'
+            )
+        if self.y_label:
+            parts.append(
+                f'<text x="16" y="{_MARGIN_TOP + plot_h / 2}" font-size="12" '
+                f'text-anchor="middle" font-family="sans-serif" '
+                f'transform="rotate(-90 16 {_MARGIN_TOP + plot_h / 2})">'
+                f"{_escape(self.y_label)}</text>"
+            )
+        # Series.
+        for index, series in enumerate(self.series):
+            color = _COLORS[index % len(_COLORS)]
+            points = " ".join(
+                f"{px(x):.1f},{py(y):.1f}" for x, y in zip(series.xs, series.ys)
+            )
+            if points:
+                parts.append(
+                    f'<polyline points="{points}" fill="none" '
+                    f'stroke="{color}" stroke-width="1.6"/>'
+                )
+            legend_y = _MARGIN_TOP + 14 * index
+            legend_x = _WIDTH - _MARGIN_RIGHT + 12
+            parts.append(
+                f'<line x1="{legend_x}" y1="{legend_y}" x2="{legend_x + 18}" '
+                f'y2="{legend_y}" stroke="{color}" stroke-width="2"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 24}" y="{legend_y + 4}" font-size="11" '
+                f'font-family="sans-serif">{_escape(series.name)}</text>'
+            )
+        # Optional vertical marker (early-stopping cut).
+        if self.marker_x is not None and x_min <= self.marker_x <= x_max:
+            mx = px(self.marker_x)
+            parts.append(
+                f'<line x1="{mx:.1f}" y1="{_MARGIN_TOP}" x2="{mx:.1f}" '
+                f'y2="{_MARGIN_TOP + plot_h}" stroke="black" '
+                f'stroke-dasharray="5,4" stroke-width="1.4"/>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.to_svg(), encoding="utf-8")
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2g}"

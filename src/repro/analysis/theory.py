@@ -1,0 +1,162 @@
+"""Graph-crawling complexity (Sec. 2.1 / Appendix A of the paper).
+
+Proposition 4: deciding whether a website graph admits a crawl (an
+r-rooted subtree) covering all targets with total cost ≤ B is
+NP-complete, by reduction from Set Cover.  This module makes the proof
+*executable*:
+
+* :func:`reduce_set_cover_to_crawl` builds the depth-2 website graph
+  G_sc of the proof (root → set vertices → element vertices);
+* :func:`set_cover_exact` / :func:`set_cover_greedy` solve Set Cover;
+* :func:`min_crawl_cost` exactly solves the graph crawling problem on
+  small graphs by enumerating vertex subsets;
+* the equivalence of the proof — a cover of size ≤ B exists iff a crawl
+  of cost ≤ |U| + B + 1 exists — is property-tested in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """Universe {0..n_elements-1} and a collection of subsets."""
+
+    n_elements: int
+    subsets: tuple[frozenset[int], ...]
+
+    def __post_init__(self) -> None:
+        covered = set().union(*self.subsets) if self.subsets else set()
+        if covered != set(range(self.n_elements)):
+            raise ValueError("subsets must cover the universe")
+
+
+@dataclass(frozen=True)
+class CrawlInstance:
+    """A rooted directed graph with unit node costs and a target set."""
+
+    n_nodes: int
+    root: int
+    edges: tuple[tuple[int, int], ...]
+    targets: frozenset[int]
+
+    def successors(self, node: int) -> list[int]:
+        return [v for u, v in self.edges if u == node]
+
+
+def set_cover_greedy(instance: SetCoverInstance) -> list[int]:
+    """Classic ln(n)-approximation: repeatedly take the set covering the
+    most uncovered elements.  Returns chosen subset indices."""
+    uncovered = set(range(instance.n_elements))
+    chosen: list[int] = []
+    while uncovered:
+        best_index = max(
+            range(len(instance.subsets)),
+            key=lambda i: len(instance.subsets[i] & uncovered),
+        )
+        if not instance.subsets[best_index] & uncovered:
+            raise ValueError("subsets cannot cover the universe")
+        chosen.append(best_index)
+        uncovered -= instance.subsets[best_index]
+    return chosen
+
+
+def set_cover_exact(instance: SetCoverInstance) -> list[int]:
+    """Smallest cover by exhaustive search over subset combinations.
+
+    Exponential — only for the small instances used to validate the
+    reduction.
+    """
+    indices = range(len(instance.subsets))
+    universe = set(range(instance.n_elements))
+    for size in range(0, len(instance.subsets) + 1):
+        for combo in itertools.combinations(indices, size):
+            covered = set()
+            for index in combo:
+                covered |= instance.subsets[index]
+            if covered == universe:
+                return list(combo)
+    raise ValueError("subsets cannot cover the universe")
+
+
+def reduce_set_cover_to_crawl(instance: SetCoverInstance) -> CrawlInstance:
+    """The proof's polynomial reduction: build G_sc (Fig. 6).
+
+    Node layout: 0 is the root r; nodes 1..n are the set vertices
+    s_1..s_n; nodes n+1 .. n+m are the element vertices u_1..u_m (the
+    targets V*).  Edges: r → every s_i, and s_i → u for every u ∈ s_i.
+    """
+    n = len(instance.subsets)
+    m = instance.n_elements
+    edges: list[tuple[int, int]] = []
+    for i in range(n):
+        edges.append((0, 1 + i))
+        for element in sorted(instance.subsets[i]):
+            edges.append((1 + i, 1 + n + element))
+    targets = frozenset(1 + n + e for e in range(m))
+    return CrawlInstance(
+        n_nodes=1 + n + m, root=0, edges=tuple(edges), targets=targets
+    )
+
+
+def crawl_budget_for_cover_budget(instance: SetCoverInstance, B: int) -> int:
+    """The proof's budget transform: cover ≤ B ⟺ crawl cost ≤ |U| + B + 1."""
+    return instance.n_elements + B + 1
+
+
+def _is_valid_crawl(instance: CrawlInstance, included: frozenset[int]) -> bool:
+    """Is there an r-rooted tree over exactly ``included`` covering it?
+
+    Equivalent to: root ∈ included and every included node reachable from
+    the root inside ``included`` (any spanning in-tree of the reachable
+    subgraph is a crawl).
+    """
+    if instance.root not in included:
+        return False
+    frontier = [instance.root]
+    reached = {instance.root}
+    adjacency: dict[int, list[int]] = {}
+    for u, v in instance.edges:
+        adjacency.setdefault(u, []).append(v)
+    while frontier:
+        node = frontier.pop()
+        for nxt in adjacency.get(node, []):
+            if nxt in included and nxt not in reached:
+                reached.add(nxt)
+                frontier.append(nxt)
+    return reached == set(included)
+
+
+def min_crawl_cost(instance: CrawlInstance) -> int:
+    """Exact minimum crawl cost (unit ω) covering all targets.
+
+    Exhaustive over subsets of optional nodes — exponential; intended
+    for instances with ≤ ~20 optional nodes (Prop. 4 validation).
+    """
+    mandatory = set(instance.targets) | {instance.root}
+    optional = sorted(set(range(instance.n_nodes)) - mandatory)
+    if len(optional) > 22:
+        raise ValueError("instance too large for exact enumeration")
+    best = math.inf
+    for size in range(0, len(optional) + 1):
+        if size + len(mandatory) >= best:
+            break
+        for combo in itertools.combinations(optional, size):
+            included = frozenset(mandatory) | frozenset(combo)
+            if _is_valid_crawl(instance, included):
+                best = min(best, len(included))
+                break  # no smaller crawl at this size
+    if best is math.inf:
+        raise ValueError("no crawl covers all targets")
+    return int(best)
+
+
+def crawl_exists_within_budget(instance: CrawlInstance, budget: int) -> bool:
+    """Decision variant of the graph crawling problem (Prop. 4)."""
+    try:
+        return min_crawl_cost(instance) <= budget
+    except ValueError:
+        return False

@@ -1,0 +1,77 @@
+"""Crawl traces: the per-request event log every crawler produces.
+
+All the paper's evaluation metrics (Tables 2–3, the Figure 4/7 curves)
+are pure functions of this log, so crawlers stay metric-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class CrawlRecord:
+    """One HTTP request issued during a crawl."""
+
+    method: str          # "GET" or "HEAD"
+    url: str
+    status: int
+    size: int            # bytes received
+    is_target: bool      # the response was a (newly retrieved) target file
+
+    @property
+    def is_error(self) -> bool:
+        return self.status >= 400
+
+
+@dataclass
+class CrawlTrace:
+    """Ordered sequence of requests plus end-of-crawl metadata."""
+
+    crawler: str = ""
+    site: str = ""
+    records: list[CrawlRecord] = field(default_factory=list)
+    #: set by early stopping when it fired (index into records)
+    stopped_early_at: int | None = None
+
+    def append(self, record: CrawlRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[CrawlRecord]:
+        return iter(self.records)
+
+    # -- aggregates -----------------------------------------------------
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_targets(self) -> int:
+        return sum(1 for r in self.records if r.is_target)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.size for r in self.records)
+
+    @property
+    def target_bytes(self) -> int:
+        return sum(r.size for r in self.records if r.is_target)
+
+    @property
+    def non_target_bytes(self) -> int:
+        return sum(r.size for r in self.records if not r.is_target)
+
+    def target_urls(self) -> set[str]:
+        return {r.url for r in self.records if r.is_target}
+
+    def truncated(self, n_requests: int) -> "CrawlTrace":
+        """First ``n_requests`` requests (the paper compares crawlers on
+        the smallest crawl size achieved, Sec. 4.4)."""
+        clone = CrawlTrace(crawler=self.crawler, site=self.site)
+        clone.records = self.records[:n_requests]
+        return clone

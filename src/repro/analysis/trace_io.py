@@ -1,0 +1,80 @@
+"""Crawl-trace persistence (JSON Lines).
+
+The artifact kit stores crawl traces so analyses can be re-run without
+re-crawling; this module serialises a :class:`CrawlTrace` to a JSONL
+file (one request per line, plus a header line with metadata) and reads
+it back losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.trace import CrawlRecord, CrawlTrace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: CrawlTrace, path: str | Path) -> None:
+    """Write a trace as JSONL: header line, then one line per request."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "format": _FORMAT_VERSION,
+            "crawler": trace.crawler,
+            "site": trace.site,
+            "n_records": len(trace.records),
+            "stopped_early_at": trace.stopped_early_at,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for record in trace.records:
+            handle.write(
+                json.dumps(
+                    {
+                        "m": record.method,
+                        "u": record.url,
+                        "s": record.status,
+                        "b": record.size,
+                        "t": int(record.is_target),
+                    },
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+
+
+def load_trace(path: str | Path) -> CrawlTrace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"empty trace file: {path}")
+        header = json.loads(header_line)
+        if header.get("format") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format: {header.get('format')}")
+        trace = CrawlTrace(
+            crawler=header.get("crawler", ""),
+            site=header.get("site", ""),
+        )
+        trace.stopped_early_at = header.get("stopped_early_at")
+        for line in handle:
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            trace.append(
+                CrawlRecord(
+                    method=row["m"],
+                    url=row["u"],
+                    status=row["s"],
+                    size=row["b"],
+                    is_target=bool(row["t"]),
+                )
+            )
+        if len(trace.records) != header.get("n_records", len(trace.records)):
+            raise ValueError(
+                f"truncated trace: expected {header['n_records']} records, "
+                f"got {len(trace.records)}"
+            )
+    return trace

@@ -1,0 +1,136 @@
+"""Shared machinery for exhaustive baseline crawlers.
+
+All simple baselines follow the same skeleton: pop a URL from some
+frontier discipline, GET it, follow redirects, extract in-site links
+from HTML, enqueue unseen ones, repeat until the frontier is empty or
+the budget runs out.  Only the frontier discipline differs.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+
+from repro.core.base import Crawler, CrawlResult
+from repro.html.parse import ParsedPage
+from repro.http.environment import CrawlEnvironment
+from repro.http.messages import Response
+from repro.http.robots import RobotsPolicy, fetch_robots_policy
+from repro.webgraph.mime import is_blocklisted_extension
+
+_MAX_CHAIN_DEPTH = 25
+
+
+class FrontierCrawler(Crawler):
+    """Template-method base class for frontier-discipline crawlers."""
+
+    #: polite crawlers fetch and honour robots.txt (one extra request)
+    respect_robots: bool = True
+
+    # -- frontier discipline, defined by subclasses -------------------
+
+    @abstractmethod
+    def _frontier_init(self) -> None: ...
+
+    @abstractmethod
+    def _frontier_push(self, url: str, context: dict) -> None: ...
+
+    @abstractmethod
+    def _frontier_pop(self) -> str: ...
+
+    @abstractmethod
+    def _frontier_empty(self) -> bool: ...
+
+    def _on_page(self, url: str, response: Response, parsed: ParsedPage | None,
+                 was_target: bool) -> None:
+        """Hook called after each fetched page (for learning baselines)."""
+
+    # -- the crawl loop ------------------------------------------------
+
+    def crawl(
+        self,
+        env: CrawlEnvironment,
+        budget: float | None = None,
+        cost_model: str = "requests",
+    ) -> CrawlResult:
+        client = env.new_client(self.name)
+        self._frontier_init()
+        if self.respect_robots:
+            self._robots = fetch_robots_policy(client, env.root_url)
+        else:
+            self._robots = RobotsPolicy()
+        self._depths: dict[str, int] = {env.root_url: 0}
+        seen: set[str] = {env.root_url}
+        visited: set[str] = set()
+        targets: set[str] = set()
+        self._frontier_push(env.root_url, {"depth": 0, "anchor": "", "tag_path": ""})
+
+        while not self._frontier_empty():
+            if self.budget_exhausted(client, budget, cost_model):
+                break
+            url = self._frontier_pop()
+            self._fetch(env, client, url, seen, visited, targets, depth=0)
+
+        return CrawlResult(
+            crawler=self.name,
+            site=env.graph.name,
+            trace=client.trace,
+            visited=visited,
+            targets=targets,
+        )
+
+    def _fetch(
+        self,
+        env: CrawlEnvironment,
+        client,
+        url: str,
+        seen: set[str],
+        visited: set[str],
+        targets: set[str],
+        depth: int,
+    ) -> None:
+        if depth > _MAX_CHAIN_DEPTH or url in visited:
+            return
+        response = client.get(url)
+        visited.add(url)
+        if response.interrupted or response.is_error:
+            self._on_page(url, response, None, was_target=False)
+            return
+        if response.is_redirect:
+            location = response.redirect_to
+            if location and env.in_site(location) and location not in visited:
+                seen.add(location)
+                self._fetch(env, client, location, seen, visited, targets, depth + 1)
+            return
+        mime = response.mime_root() or ""
+        if env.is_target_mime(mime):
+            targets.add(url)
+            self._on_page(url, response, None, was_target=True)
+            return
+        if "html" not in mime:
+            return
+        parsed = env.parse(response)
+        self._on_page(url, response, parsed, was_target=False)
+        source_depth = self._url_depth(url)
+        for link in parsed.links:
+            if link.url in seen:
+                continue
+            if not env.in_site(link.url) or is_blocklisted_extension(link.url):
+                continue
+            if not self._robots.allowed(link.url):
+                continue
+            seen.add(link.url)
+            self._depths[link.url] = source_depth + 1
+            self._frontier_push(
+                link.url,
+                {
+                    "depth": source_depth + 1,
+                    "anchor": link.anchor,
+                    "tag_path": link.tag_path,
+                    "source_text": parsed.text,
+                },
+            )
+
+    # -- depth bookkeeping (FOCUSED uses approximate depth features) -------
+
+    def _url_depth(self, url: str) -> int:
+        return getattr(self, "_depths", {}).get(url, 0)

@@ -1,0 +1,42 @@
+"""The OMNISCIENT upper-bound crawler (Sec. 4.3).
+
+Knows the full set of target URLs V* before the crawl starts and
+fetches them one after the other — no navigation, no discovery cost.
+Since optimally covering all targets through the link graph is NP-hard
+(Prop. 4), this unreachable bound is the paper's efficiency ceiling.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Crawler, CrawlResult
+from repro.http.environment import CrawlEnvironment
+
+
+class OmniscientCrawler(Crawler):
+    """Fetches the ground-truth target list directly."""
+
+    name = "OMNISCIENT"
+
+    def crawl(
+        self,
+        env: CrawlEnvironment,
+        budget: float | None = None,
+        cost_model: str = "requests",
+    ) -> CrawlResult:
+        client = env.new_client(self.name)
+        targets: set[str] = set()
+        visited: set[str] = set()
+        for url in sorted(env.target_urls()):
+            if self.budget_exhausted(client, budget, cost_model):
+                break
+            response = client.get(url)
+            visited.add(url)
+            if response.ok and not response.interrupted:
+                targets.add(url)
+        return CrawlResult(
+            crawler=self.name,
+            site=env.graph.name,
+            trace=client.trace,
+            visited=visited,
+            targets=targets,
+        )

@@ -1,0 +1,75 @@
+"""The simple baseline crawlers: BFS, DFS and RANDOM (Sec. 4.3).
+
+* BFS keeps the frontier as a FIFO queue: all pages at link distance ℓ
+  are crawled before any page at distance ℓ' > ℓ.
+* DFS keeps it as a LIFO stack (rarely used in practice — robot traps —
+  but a meaningful discipline on deep portal sites).
+* RANDOM pops a uniformly random frontier URL.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.baselines.base import FrontierCrawler
+
+
+class BFSCrawler(FrontierCrawler):
+    """Breadth-first exhaustive crawler (FIFO frontier)."""
+
+    name = "BFS"
+
+    def _frontier_init(self) -> None:
+        self._queue: deque[str] = deque()
+
+    def _frontier_push(self, url: str, context: dict) -> None:
+        self._queue.append(url)
+
+    def _frontier_pop(self) -> str:
+        return self._queue.popleft()
+
+    def _frontier_empty(self) -> bool:
+        return not self._queue
+
+
+class DFSCrawler(FrontierCrawler):
+    """Depth-first crawler (LIFO frontier)."""
+
+    name = "DFS"
+
+    def _frontier_init(self) -> None:
+        self._stack: list[str] = []
+
+    def _frontier_push(self, url: str, context: dict) -> None:
+        self._stack.append(url)
+
+    def _frontier_pop(self) -> str:
+        return self._stack.pop()
+
+    def _frontier_empty(self) -> bool:
+        return not self._stack
+
+
+class RandomCrawler(FrontierCrawler):
+    """Uniform-random frontier crawler."""
+
+    name = "RANDOM"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def _frontier_init(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._items: list[str] = []
+
+    def _frontier_push(self, url: str, context: dict) -> None:
+        self._items.append(url)
+
+    def _frontier_pop(self) -> str:
+        index = self._rng.randrange(len(self._items))
+        self._items[index], self._items[-1] = self._items[-1], self._items[index]
+        return self._items.pop()
+
+    def _frontier_empty(self) -> bool:
+        return not self._items

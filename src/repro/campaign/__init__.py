@@ -1,0 +1,15 @@
+"""Multi-site acquisition campaigns.
+
+The paper's motivating application — populating a statistics-data lake
+for fact-checking — needs *many* organisations crawled, each under its
+own politeness constraint.  Parallel crawlers (Cho & Garcia-Molina 2002;
+UbiCrawler) interleave requests across hosts so politeness waits on one
+site are spent working on another.  This package simulates that: given
+per-site crawl traces (from any crawler in this library) and a worker
+pool, a discrete-event scheduler computes the campaign makespan under
+per-host delays, quantifying the speedup of cross-site interleaving.
+"""
+
+from repro.campaign.scheduler import CampaignReport, SiteWorkload, schedule_campaign
+
+__all__ = ["CampaignReport", "SiteWorkload", "schedule_campaign"]

@@ -1,0 +1,145 @@
+"""Discrete-event scheduling of multi-site crawl campaigns.
+
+Model: a campaign has W workers and one request queue per website.
+Each request occupies a worker for ``service_time`` seconds (parsing,
+I/O) and each *site* enforces ``politeness_delay`` seconds between the
+starts of its consecutive requests.  Workers always take the runnable
+request whose site has been waiting longest; when every site is inside
+its politeness window, workers idle until the earliest one opens.
+
+The headline output is the campaign *makespan* versus crawling the
+sites one after another — the speedup a data-acquisition team gets from
+cross-site interleaving without ever violating per-site politeness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SiteWorkload:
+    """One site's crawl, reduced to what scheduling needs."""
+
+    site: str
+    n_requests: int
+    #: bytes transferred (affects service time via bandwidth)
+    total_bytes: int = 0
+
+    @staticmethod
+    def from_trace(trace) -> "SiteWorkload":
+        return SiteWorkload(
+            site=trace.site,
+            n_requests=trace.n_requests,
+            total_bytes=trace.total_bytes,
+        )
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of a campaign simulation."""
+
+    n_workers: int
+    politeness_delay: float
+    makespan_seconds: float
+    sequential_seconds: float
+    per_site_finish: dict[str, float] = field(default_factory=dict)
+    worker_busy_seconds: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        if self.makespan_seconds <= 0:
+            return 1.0
+        return self.sequential_seconds / self.makespan_seconds
+
+    @property
+    def utilisation(self) -> float:
+        total_capacity = self.n_workers * self.makespan_seconds
+        if total_capacity <= 0:
+            return 0.0
+        return self.worker_busy_seconds / total_capacity
+
+    def render(self) -> str:
+        hours = self.makespan_seconds / 3600
+        seq_hours = self.sequential_seconds / 3600
+        return (
+            f"campaign: {len(self.per_site_finish)} sites, "
+            f"{self.n_workers} workers -> {hours:.1f} h "
+            f"(sequential {seq_hours:.1f} h, speedup {self.speedup:.2f}x, "
+            f"worker utilisation {100 * self.utilisation:.0f}%)"
+        )
+
+
+def schedule_campaign(
+    workloads: list[SiteWorkload],
+    n_workers: int = 4,
+    politeness_delay: float = 1.0,
+    service_time: float = 0.05,
+    bandwidth_bps: float = 10e6,
+) -> CampaignReport:
+    """Simulate the campaign; returns makespan and per-site finish times.
+
+    The simulation is exact for this model: per site, request k may
+    start no earlier than k·politeness_delay after the site's first
+    start; a worker is busy for ``service_time + bytes/bandwidth``.
+    """
+    if n_workers <= 0:
+        raise ValueError("need at least one worker")
+    if not workloads:
+        return CampaignReport(
+            n_workers=n_workers,
+            politeness_delay=politeness_delay,
+            makespan_seconds=0.0,
+            sequential_seconds=0.0,
+        )
+
+    per_request_service = {
+        w.site: service_time
+        + (w.total_bytes / max(w.n_requests, 1)) / bandwidth_bps
+        for w in workloads
+    }
+    remaining = {w.site: w.n_requests for w in workloads}
+    #: earliest time each site may start its next request
+    site_ready = {w.site: 0.0 for w in workloads}
+    #: min-heap of worker availability times
+    workers = [0.0] * n_workers
+    heapq.heapify(workers)
+    finish: dict[str, float] = {}
+    busy = 0.0
+
+    active = [w.site for w in workloads if w.n_requests > 0]
+    for site in [w.site for w in workloads if w.n_requests == 0]:
+        finish[site] = 0.0
+
+    while active:
+        worker_free = heapq.heappop(workers)
+        # Pick the runnable site that has been ready the longest.
+        site = min(active, key=lambda s: (max(site_ready[s], worker_free), site_ready[s]))
+        start = max(site_ready[site], worker_free)
+        duration = per_request_service[site]
+        end = start + duration
+        busy += duration
+        site_ready[site] = start + politeness_delay
+        remaining[site] -= 1
+        if remaining[site] == 0:
+            finish[site] = end
+            active.remove(site)
+        heapq.heappush(workers, end)
+
+    makespan = max(finish.values()) if finish else 0.0
+    sequential = sum(
+        max(
+            w.n_requests * politeness_delay,
+            w.n_requests * per_request_service[w.site],
+        )
+        for w in workloads
+    )
+    return CampaignReport(
+        n_workers=n_workers,
+        politeness_delay=politeness_delay,
+        makespan_seconds=makespan,
+        sequential_seconds=sequential,
+        per_site_finish=finish,
+        worker_busy_seconds=busy,
+    )

@@ -1,0 +1,43 @@
+"""The paper's contribution: sleeping-bandit focused crawling.
+
+Public surface:
+
+* :class:`~repro.core.crawler.SBCrawler` — the SB-CLASSIFIER /
+  SB-ORACLE crawler (Algorithms 1–4);
+* :class:`~repro.core.crawler.SBConfig` — its hyper-parameters
+  (α, θ, n, m, w, batch size …, Sec. 4.5 defaults);
+* supporting machinery re-exported for advanced use: tag-path
+  vectorisation, the HNSW index, the action space, the sleeping bandit,
+  the online URL classifier and the early-stopping monitor.
+"""
+
+from repro.core.base import Crawler, CrawlResult
+from repro.core.tagpath import TagPathVectorizer, projection_hash
+from repro.core.hnsw import HnswIndex
+from repro.core.actions import ActionSpace
+from repro.core.bandit import SleepingBandit
+from repro.core.url_classifier import (
+    OnlineUrlClassifier,
+    OracleUrlClassifier,
+    UrlClass,
+)
+from repro.core.early_stopping import EarlyStoppingMonitor
+from repro.core.frontier import Frontier
+from repro.core.crawler import SBConfig, SBCrawler
+
+__all__ = [
+    "Crawler",
+    "CrawlResult",
+    "TagPathVectorizer",
+    "projection_hash",
+    "HnswIndex",
+    "ActionSpace",
+    "SleepingBandit",
+    "OnlineUrlClassifier",
+    "OracleUrlClassifier",
+    "UrlClass",
+    "EarlyStoppingMonitor",
+    "Frontier",
+    "SBConfig",
+    "SBCrawler",
+]

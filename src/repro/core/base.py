@@ -1,0 +1,66 @@
+"""Crawler interface shared by SB-CLASSIFIER and all baselines.
+
+A crawler consumes a :class:`~repro.http.environment.CrawlEnvironment`
+and a budget (in requests or bytes, Sec. 2.2) and produces a
+:class:`CrawlResult` — the request trace plus the sets of visited pages
+and retrieved targets.  All evaluation metrics are computed from the
+trace, never from crawler internals.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.trace import CrawlTrace
+from repro.http.client import HttpClient
+from repro.http.environment import CrawlEnvironment
+
+
+@dataclass
+class CrawlResult:
+    """Outcome of one crawler run on one website."""
+
+    crawler: str
+    site: str
+    trace: CrawlTrace
+    visited: set[str] = field(default_factory=set)
+    targets: set[str] = field(default_factory=set)
+    stopped_early: bool = False
+    #: crawler-specific extras (bandit stats, classifier confusion, …)
+    info: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_requests(self) -> int:
+        return self.trace.n_requests
+
+    @property
+    def n_targets(self) -> int:
+        return len(self.targets)
+
+
+class Crawler(ABC):
+    """Abstract crawler: subclasses implement one crawl strategy."""
+
+    #: display name used in result tables (paper's crawler names)
+    name: str = "crawler"
+
+    @abstractmethod
+    def crawl(
+        self,
+        env: CrawlEnvironment,
+        budget: float | None = None,
+        cost_model: str = "requests",
+    ) -> CrawlResult:
+        """Run the crawl until the frontier is empty or the budget is spent."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    @staticmethod
+    def budget_exhausted(
+        client: HttpClient, budget: float | None, cost_model: str
+    ) -> bool:
+        if budget is None:
+            return False
+        return client.budget_spent(cost_model) >= budget

@@ -1,0 +1,376 @@
+"""The SB crawler: Algorithms 3 and 4 of the paper.
+
+``SBCrawler`` is SB-CLASSIFIER with the online URL classifier, or
+SB-ORACLE when ``SBConfig.use_oracle`` is set.  One crawl step:
+
+1. *Select an action* with the sleeping-bandit score (Algorithm 3) and
+   draw a uniformly random unvisited link of that action — or a random
+   frontier link while no action exists yet.
+2. *Crawl the page* (Algorithm 4): GET; dispatch on status (errors
+   return, redirects are followed if unseen, 2xx pages are processed);
+   extract in-site links from HTML; classify every new link (HEAD
+   during the classifier's initial phase, free prediction afterwards);
+   HTML links are mapped to actions (Algorithm 1) and queued; target
+   links are fetched immediately and counted into the reward.
+3. *Update* the chosen action's running mean reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.actions import ActionSpace
+from repro.core.bandit import DEFAULT_ALPHA, SleepingBandit, make_bandit
+from repro.core.base import Crawler, CrawlResult
+from repro.core.early_stopping import EarlyStoppingMonitor
+from repro.core.frontier import Frontier
+from repro.core.tagpath import DEFAULT_M, DEFAULT_PRIME, DEFAULT_W, TagPathVectorizer
+from repro.core.url_classifier import (
+    LinkContext,
+    OnlineUrlClassifier,
+    OracleUrlClassifier,
+    UrlClass,
+)
+from repro.http.environment import CrawlEnvironment
+from repro.http.messages import Response
+from repro.http.robots import RobotsPolicy, fetch_robots_policy
+from repro.ml.metrics import ConfusionMatrix
+from repro.webgraph.mime import is_blocklisted_extension, is_target_mime
+
+#: Sentinel action for the root URL (discovered before any action exists).
+_ROOT_ACTION = -1
+
+#: Recursion guard for redirect / immediate-target chains.
+_MAX_CHAIN_DEPTH = 25
+
+
+@dataclass(frozen=True)
+class SBConfig:
+    """Hyper-parameters of the SB crawler (defaults from Sec. 4.5).
+
+    The paper's default projection dimension is m = 12; Sec. 4.6 reports
+    that m has no significant effect, and the scaled-down sites used
+    here need far fewer buckets, so the library defaults to m = 8.
+    """
+
+    alpha: float = DEFAULT_ALPHA          # exploration-exploitation (2√2)
+    theta: float = 0.75                   # tag-path similarity threshold
+    ngram_n: int = 2                      # n-grams over tag-path segments
+    m: int = DEFAULT_M                    # projected dimension D = 2^m
+    w: int = DEFAULT_W                    # hash width (w > m)
+    prime: int = DEFAULT_PRIME            # hash multiplier Π
+    epsilon: float = 1e-6                 # bandit division guard
+    bandit_policy: str = "auer"           # auer | epsilon-greedy | thompson
+    batch_size: int = 10                  # URL-classifier batch b
+    classifier_model: str = "LR"          # LR | SVM | NB | PA
+    feature_set: str = "URL_ONLY"         # URL_ONLY | URL_CONT
+    use_oracle: bool = False              # SB-ORACLE instead of SB-CLASSIFIER
+    respect_robots: bool = True           # fetch & honour robots.txt
+    early_stopping: bool = False
+    es_window: int = 1000                 # ν
+    es_threshold: float = 0.2             # ε (targets per iteration)
+    es_decay: float = 0.05                # γ
+    es_patience: int = 15                 # κ
+    seed: int = 0
+
+    def with_seed(self, seed: int) -> "SBConfig":
+        return replace(self, seed=seed)
+
+
+@dataclass
+class _SBState:
+    """Mutable state of one crawl run (keeps SBCrawler.crawl reentrant)."""
+
+    env: CrawlEnvironment
+    client: object
+    vectorizer: TagPathVectorizer
+    actions: ActionSpace
+    bandit: SleepingBandit
+    frontier: Frontier
+    classifier: object
+    monitor: EarlyStoppingMonitor | None
+    visited: set[str] = field(default_factory=set)
+    seen: set[str] = field(default_factory=set)
+    targets: set[str] = field(default_factory=set)
+    t: int = 0
+    confusion: ConfusionMatrix = field(default_factory=ConfusionMatrix)
+    oracle: OracleUrlClassifier | None = None
+    robots: RobotsPolicy = field(default_factory=RobotsPolicy)
+
+
+class SBCrawler(Crawler):
+    """SB-CLASSIFIER / SB-ORACLE (the paper's contribution)."""
+
+    def __init__(self, config: SBConfig | None = None, name: str | None = None) -> None:
+        self.config = config or SBConfig()
+        if name is not None:
+            self.name = name
+        else:
+            self.name = "SB-ORACLE" if self.config.use_oracle else "SB-CLASSIFIER"
+
+    # -- setup ------------------------------------------------------------
+
+    def _new_state(self, env: CrawlEnvironment) -> _SBState:
+        config = self.config
+        vectorizer = TagPathVectorizer(
+            n=config.ngram_n, m=config.m, w=config.w, prime=config.prime
+        )
+        actions = ActionSpace(vectorizer, theta=config.theta, seed=config.seed)
+        bandit = make_bandit(
+            config.bandit_policy, alpha=config.alpha,
+            epsilon=config.epsilon, seed=config.seed,
+        )
+        frontier = Frontier(seed=config.seed)
+        if config.use_oracle:
+            classifier: object = OracleUrlClassifier(env.graph, env.target_mimes)
+        else:
+            classifier = OnlineUrlClassifier(
+                batch_size=config.batch_size,
+                model=config.classifier_model,
+                feature_set=config.feature_set,
+                seed=config.seed,
+            )
+        monitor = None
+        if config.early_stopping:
+            monitor = EarlyStoppingMonitor(
+                window=config.es_window,
+                threshold=config.es_threshold,
+                decay=config.es_decay,
+                patience=config.es_patience,
+            )
+        return _SBState(
+            env=env,
+            client=env.new_client(self.name),
+            vectorizer=vectorizer,
+            actions=actions,
+            bandit=bandit,
+            frontier=frontier,
+            classifier=classifier,
+            monitor=monitor,
+            oracle=OracleUrlClassifier(env.graph, env.target_mimes),
+        )
+
+    # -- Algorithm 3 ----------------------------------------------------------
+
+    def crawl(
+        self,
+        env: CrawlEnvironment,
+        budget: float | None = None,
+        cost_model: str = "requests",
+    ) -> CrawlResult:
+        state = self._new_state(env)
+        if self.config.respect_robots:
+            state.robots = fetch_robots_policy(state.client, env.root_url)
+        state.seen.add(env.root_url)
+        state.frontier.add(env.root_url, _ROOT_ACTION)
+        stopped_early = False
+
+        while len(state.frontier) > 0:
+            if self.budget_exhausted(state.client, budget, cost_model):
+                break
+            awake = [a for a in state.frontier.awake_actions() if a != _ROOT_ACTION]
+            if awake:
+                action_id = state.bandit.select(awake, max(state.t, 1))
+                url = state.frontier.pop_from_action(action_id)
+                state.bandit.record_selection(action_id)
+            else:
+                action_id = None
+                url = state.frontier.pop_random()
+            self._crawl_next_page(state, url, action_id, budget, cost_model)
+            if state.monitor is not None and state.monitor.observe(len(state.targets)):
+                stopped_early = True
+                break
+
+        trace = state.client.trace
+        if stopped_early:
+            trace.stopped_early_at = len(trace.records)
+        mean, std = state.bandit.nonzero_reward_stats()
+        return CrawlResult(
+            crawler=self.name,
+            site=env.graph.name,
+            trace=trace,
+            visited=state.visited,
+            targets=state.targets,
+            stopped_early=stopped_early,
+            info={
+                "n_actions": state.actions.n_actions,
+                "reward_mean_nonzero": mean,
+                "reward_std_nonzero": std,
+                "top10_rewards": state.bandit.top_mean_rewards(10),
+                "bandit": state.bandit,
+                "actions": state.actions,
+                "confusion": state.confusion,
+                "early_stopping": state.monitor,
+                "classifier_prequential_accuracy": (
+                    state.classifier.prequential_accuracy()
+                    if isinstance(state.classifier, OnlineUrlClassifier)
+                    else 1.0
+                ),
+                "classifier_recent_accuracy": (
+                    state.classifier.recent_accuracy()
+                    if isinstance(state.classifier, OnlineUrlClassifier)
+                    else 1.0
+                ),
+            },
+        )
+
+    # -- Algorithm 4 -----------------------------------------------------------
+
+    def _crawl_next_page(
+        self,
+        state: _SBState,
+        url: str,
+        action_id: int | None,
+        budget: float | None,
+        cost_model: str,
+        depth: int = 0,
+    ) -> int:
+        """Fetch one page; returns the number of targets retrieved by this call
+        (including redirect/immediate-target recursion)."""
+        if depth > _MAX_CHAIN_DEPTH:
+            return 0
+        if self.budget_exhausted(state.client, budget, cost_model):
+            return 0
+        response: Response = state.client.get(url)
+        state.visited.add(url)
+        state.t += 1
+
+        if response.interrupted:
+            return 0
+        if response.is_error:
+            return 0
+        if response.is_redirect:
+            location = response.redirect_to
+            if (
+                location
+                and state.env.in_site(location)
+                and location not in state.visited
+                and location not in state.frontier
+            ):
+                state.seen.add(location)
+                return self._crawl_next_page(
+                    state, location, action_id, budget, cost_model, depth + 1
+                )
+            return 0
+
+        mime = response.mime_root()
+        if mime is None:
+            return 0
+        if "html" in mime:
+            state.classifier.add_labeled(url, UrlClass.HTML)
+            parsed = state.env.parse(response)
+            links = [l for l in parsed.links if state.env.in_site(l.url)]
+            page_text = parsed.text
+        elif state.env.is_target_mime(mime):
+            state.classifier.add_labeled(url, UrlClass.TARGET)
+            state.targets.add(url)
+            return 1
+        else:
+            return 0
+
+        reward = 0
+        for link in links:
+            if link.url in state.seen:
+                continue
+            if is_blocklisted_extension(link.url):
+                state.seen.add(link.url)
+                continue
+            if not state.robots.allowed(link.url):
+                state.seen.add(link.url)
+                continue
+            label = self._classify_link(
+                state, link.url, link.anchor, link.tag_path, page_text,
+                budget, cost_model,
+            )
+            if label is None:
+                break  # budget ran out during the initial HEAD phase
+            state.seen.add(link.url)
+            if label is UrlClass.HTML:
+                new_action = state.actions.assign(link.tag_path)
+                state.bandit.ensure_arm(new_action)
+                state.frontier.add(link.url, new_action)
+            elif label is UrlClass.TARGET:
+                reward += self._crawl_next_page(
+                    state, link.url, None, budget, cost_model, depth + 1
+                )
+            # NEITHER (oracle only): drop the link at zero cost.
+
+        self._process_forms(state, parsed)
+
+        if action_id is not None and action_id != _ROOT_ACTION:
+            state.bandit.record_reward(action_id, float(reward))
+        return reward
+
+    def _process_forms(self, state: _SBState, parsed) -> None:
+        """Hook for deep-web subclasses; the base crawler ignores forms
+        (the paper's crawler is navigation-only; Sec. 6 future work)."""
+
+    # -- link classification (Algorithm 2 driver) ---------------------------
+
+    def _classify_link(
+        self,
+        state: _SBState,
+        url: str,
+        anchor: str,
+        tag_path: str,
+        page_text: str,
+        budget: float | None,
+        cost_model: str,
+    ) -> UrlClass | None:
+        """Classify one newly discovered link, paying HEAD during the
+        initial training phase.  Returns None if the budget died first."""
+        classifier = state.classifier
+        context = None
+        if getattr(classifier, "feature_set", "URL_ONLY") == "URL_CONT":
+            context = LinkContext(
+                anchor=anchor, dom_path=tag_path, surrounding_text=page_text
+            )
+        if isinstance(classifier, OracleUrlClassifier):
+            label = classifier.classify(url, context)
+            self._record_confusion(state, url, label)
+            return label
+        if classifier.initial_training_phase:
+            if self.budget_exhausted(state.client, budget, cost_model):
+                return None
+            head = state.client.head(url)
+            label = _label_from_head(head, state.env.target_mimes)
+            classifier.add_labeled(url, label, context)
+            self._record_confusion(state, url, label)
+            # HEAD already told us the truth: act on it directly.
+            return label
+        label = classifier.classify(url, context)
+        self._record_confusion(state, url, label)
+        return label
+
+    def _record_confusion(self, state: _SBState, url: str, predicted: UrlClass) -> None:
+        truth = state.oracle.classify(url) if state.oracle else UrlClass.NEITHER
+        state.confusion.update(truth.value, predicted.value)
+
+
+def _label_from_head(
+    head: Response, target_mimes: frozenset[str] | None = None
+) -> UrlClass:
+    """Ground-truth label from a HEAD response (initial training phase)."""
+    if head.is_redirect:
+        return UrlClass.HTML  # following it will land on a live page
+    if not head.ok:
+        return UrlClass.NEITHER
+    mime = head.mime_root()
+    if mime is None:
+        return UrlClass.NEITHER
+    if "html" in mime:
+        return UrlClass.HTML
+    if is_target_mime(mime, target_mimes):
+        return UrlClass.TARGET
+    return UrlClass.NEITHER
+
+
+def sb_classifier(config: SBConfig | None = None) -> SBCrawler:
+    """Factory: the paper's SB-CLASSIFIER with default hyper-parameters."""
+    return SBCrawler(config or SBConfig())
+
+
+def sb_oracle(config: SBConfig | None = None) -> SBCrawler:
+    """Factory: SB-ORACLE (perfect URL classification, Sec. 4.3)."""
+    base = config or SBConfig()
+    return SBCrawler(replace(base, use_oracle=True))

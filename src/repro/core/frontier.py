@@ -1,0 +1,122 @@
+"""Crawl frontier partitioned by action.
+
+The frontier holds the discovered-but-unvisited HTML URLs.  The SB
+crawler needs three operations, all O(1): add a URL under its action,
+draw a uniformly random URL from a given action (Sec. 3.2: "our crawler
+randomly chooses an unvisited link l ∈ a with equal probability"), and
+know which actions are *awake* (still have unvisited links).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class _RandomPool:
+    """Set with O(1) uniform sampling-without-replacement (swap-pop)."""
+
+    def __init__(self) -> None:
+        self._items: list[str] = []
+        self._positions: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._positions
+
+    def add(self, item: str) -> None:
+        if item in self._positions:
+            return
+        self._positions[item] = len(self._items)
+        self._items.append(item)
+
+    def pop_random(self, rng: random.Random) -> str:
+        index = rng.randrange(len(self._items))
+        item = self._items[index]
+        self._remove_at(index)
+        return item
+
+    def remove(self, item: str) -> bool:
+        index = self._positions.get(item)
+        if index is None:
+            return False
+        self._remove_at(index)
+        return True
+
+    def _remove_at(self, index: int) -> None:
+        last = self._items[-1]
+        item = self._items[index]
+        self._items[index] = last
+        self._positions[last] = index
+        self._items.pop()
+        del self._positions[item]
+
+
+class Frontier:
+    """Unvisited URLs grouped by the action of the link that found them."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._pools: dict[int, _RandomPool] = {}
+        self._url_action: dict[str, int] = {}
+        self._total = 0
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._url_action
+
+    def add(self, url: str, action_id: int) -> None:
+        """Register a newly discovered URL under its action."""
+        if url in self._url_action:
+            return
+        pool = self._pools.get(action_id)
+        if pool is None:
+            pool = _RandomPool()
+            self._pools[action_id] = pool
+        pool.add(url)
+        self._url_action[url] = action_id
+        self._total += 1
+
+    def pop_from_action(self, action_id: int) -> str:
+        """Draw a uniformly random unvisited URL of ``action_id``."""
+        pool = self._pools.get(action_id)
+        if pool is None or len(pool) == 0:
+            raise KeyError(f"action {action_id} is asleep (no unvisited links)")
+        url = pool.pop_random(self._rng)
+        del self._url_action[url]
+        self._total -= 1
+        return url
+
+    def pop_random(self) -> str:
+        """Draw uniformly over *all* frontier URLs (used before any action
+        exists, and by the RANDOM baseline)."""
+        if self._total == 0:
+            raise KeyError("frontier is empty")
+        # Weight actions by pool size for global uniformity.
+        pools = [(a, p) for a, p in self._pools.items() if len(p) > 0]
+        weights = [len(p) for _, p in pools]
+        action_id = self._rng.choices([a for a, _ in pools], weights=weights, k=1)[0]
+        return self.pop_from_action(action_id)
+
+    def discard(self, url: str) -> bool:
+        """Remove a URL discovered to be already visited (e.g. redirects)."""
+        action_id = self._url_action.pop(url, None)
+        if action_id is None:
+            return False
+        self._pools[action_id].remove(url)
+        self._total -= 1
+        return True
+
+    def awake_actions(self) -> list[int]:
+        """Actions that still have unvisited links (1_a(t) = 1)."""
+        return [a for a, p in self._pools.items() if len(p) > 0]
+
+    def action_of(self, url: str) -> int | None:
+        return self._url_action.get(url)
+
+    def size_of(self, action_id: int) -> int:
+        pool = self._pools.get(action_id)
+        return len(pool) if pool is not None else 0

@@ -1,0 +1,16 @@
+"""Deep-web crawling (the paper's second future-work direction).
+
+Statistics portals often hide datasets behind search forms; a
+link-following crawler never reaches them.  The paper's conclusion
+names "integrating deep-Web crawling techniques ... to access data
+behind forms" as future work.  This package provides
+:class:`DeepWebSBCrawler`: SB-CLASSIFIER extended with bounded GET-form
+enumeration — every form found on a crawled page contributes its value
+combinations to the frontier under a dedicated tag-path action, so the
+bandit learns whether *form submissions* on this site are worth the
+requests, with the same machinery it uses for links.
+"""
+
+from repro.deepweb.crawler import DeepWebSBCrawler, deep_web_sb_classifier
+
+__all__ = ["DeepWebSBCrawler", "deep_web_sb_classifier"]

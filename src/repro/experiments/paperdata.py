@@ -1,0 +1,161 @@
+"""The paper's published numbers, for paper-vs-measured reporting.
+
+Values transcribed from the paper (EDBT 2026, extended version).  Cells
+the source renders illegibly are ``None``; ``INF`` encodes the paper's
+"+∞" (the crawler never reached the 90 % threshold).  Site order
+everywhere: ab as be ce cl cn ed il in is jp ju nc oe ok qa wh wo.
+"""
+
+from __future__ import annotations
+
+import math
+
+INF = math.inf
+
+SITE_ORDER: tuple[str, ...] = (
+    "ab", "as", "be", "ce", "cl", "cn", "ed", "il", "in",
+    "is", "jp", "ju", "nc", "oe", "ok", "qa", "wh", "wo",
+)
+
+#: Table 2 (top): % of requests to retrieve 90 % of targets.
+TABLE2_REQUESTS: dict[str, tuple[float | None, ...]] = {
+    "SB-ORACLE": (None, None, 72.6, None, 70.7, 70.3, 48.0, None, 12.8,
+                  73.8, None, 34.1, 50.8, 55.8, 13.8, 47.3, None, None),
+    "SB-CLASSIFIER": (31.2, 35.1, 75.7, 23.3, 74.4, 70.9, 51.5, 14.2, 11.9,
+                      70.0, 37.7, 33.0, 51.0, 50.2, 15.5, 57.7, 19.7, 18.6),
+    "FOCUSED": (68.2, INF, 87.8, 36.0, 88.9, 82.7, 86.7, INF, 62.8,
+                86.9, 42.0, 91.1, 92.8, 84.9, 51.8, 71.0, INF, INF),
+    "TP-OFF": (96.4, 50.3, 86.2, 34.7, 81.8, 88.2, 95.6, INF, 99.7,
+               88.0, INF, 74.4, 93.0, 88.7, 76.2, 88.6, INF, INF),
+    "BFS": (97.4, 90.8, 89.1, 73.5, 87.5, 80.0, 94.6, 33.2, 99.3,
+            92.7, 45.2, 80.8, 81.8, 96.5, 66.8, 70.6, 79.0, 92.0),
+    "DFS": (83.7, INF, 85.2, 74.9, 70.6, 84.6, 90.5, INF, 99.7,
+            87.7, 45.6, 80.2, 93.7, 88.7, 80.5, 74.4, INF, INF),
+    "RANDOM": (INF, 98.2, 92.4, 44.5, 89.2, 85.1, 95.0, INF, 99.0,
+               92.7, INF, 83.2, 87.9, 96.8, 85.0, 77.8, 71.0, INF),
+}
+
+#: Table 2 (bottom): early stopping — saved requests % / lost targets %.
+TABLE2_SAVED_REQUESTS: tuple[float, ...] = (
+    34.4, 0.0, 0.0, 0.0, 0.0, 0.0, 27.4, 0.0, 82.6,
+    2.2, 39.0, 18.8, 20.4, 0.0, 73.1, 0.0, 0.0, 0.0,
+)
+TABLE2_LOST_TARGETS: tuple[float, ...] = (
+    13.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0,
+    0.0, 2.5, 0.4, 0.1, 0.0, 2.0, 0.0, 0.0, 0.0,
+)
+
+#: Table 3: % of non-target volume before 90 % of target volume.
+TABLE3_VOLUME: dict[str, tuple[float | None, ...]] = {
+    "SB-ORACLE": (None, None, 24.2, None, None, 24.6, None, None, 12.5,
+                  None, None, 22.9, 29.5, 48.0, 33.2, 30.2, None, None),
+    "SB-CLASSIFIER": (20.4, 21.4, 29.5, 29.1, None, 29.0, None, None, 23.6,
+                      None, 18.6, 23.1, 34.5, 49.5, 34.9, 33.2, None, None),
+    "FOCUSED": (INF, INF, 85.2, 97.0, 76.3, 74.7, 86.4, INF, 67.3,
+                73.8, None, 72.2, 84.9, 72.7, 49.8, 80.3, INF, INF),
+    "TP-OFF": (INF, INF, 92.3, 64.4, 65.0, 94.7, 92.9, INF, 98.8,
+               89.7, None, 72.3, 89.2, 89.0, 73.6, 46.9, INF, INF),
+    "BFS": (81.8, 75.7, 66.5, 98.5, 80.8, 50.4, 93.2, 3.6, 99.0,
+            93.8, None, None, 84.5, 97.5, 63.3, 87.3, 91.5, 98.3),
+    "DFS": (98.6, INF, 64.2, 97.0, 45.0, 82.4, 90.8, INF, 98.1,
+            85.0, None, None, 96.1, 90.5, 97.0, 75.0, INF, INF),
+    "RANDOM": (71.6, INF, 83.4, INF, 89.3, 82.7, 92.9, INF, 95.8,
+               98.3, None, None, 88.2, 98.1, 86.6, 77.8, INF, INF),
+}
+
+#: The 11 fully-crawled sites of Tables 4–5.
+FULLY_CRAWLED_ORDER: tuple[str, ...] = (
+    "be", "cl", "cn", "ed", "in", "is", "ju", "nc", "oe", "ok", "qa",
+)
+
+#: Table 4: hyper-parameter study (requests % | volume %) with SB-ORACLE.
+TABLE4: dict[str, dict[str, tuple[tuple[float | None, float | None], ...]]] = {
+    "alpha": {
+        "0.1": ((86.3, 26.2), (75.9, 42.3), (74.3, 35.5), (53.7, 54.1),
+                (9.8, 10.2), (77.1, 66.2), (37.1, 35.0), (51.6, 26.2),
+                (55.6, 34.4), (14.3, 33.2), (67.7, 32.1)),
+        "2sqrt2": ((84.7, 24.2), (76.4, 56.3), (71.8, 24.6), (53.0, 49.2),
+                   (11.1, 11.0), (74.2, 58.9), (35.0, 22.9), (51.4, 29.5),
+                   (59.2, 48.0), (10.3, 19.0), (68.9, 33.9)),
+        "30": ((83.8, 36.7), (79.6, 58.9), (75.3, 32.4), (66.2, 41.5),
+               (11.6, 11.8), (80.9, 66.4), (43.3, 28.8), (67.3, 29.5),
+               (68.8, 72.9), (36.7, 71.3), (71.8, 30.4)),
+    },
+    "n": {
+        "1": ((84.5, 27.1), (77.2, 48.5), (78.6, 56.3), (57.3, 55.1),
+              (9.9, 10.7), (78.2, 69.6), (35.7, 17.6), (54.8, 33.5),
+              (52.6, 28.1), (13.6, 27.2), (68.9, 34.7)),
+        "2": ((84.7, 24.2), (76.4, 56.3), (71.8, 24.6), (53.0, 49.2),
+              (11.1, 11.0), (74.2, 58.9), (35.0, 22.9), (51.4, 29.5),
+              (59.2, 48.0), (10.3, 19.0), (68.3, 33.9)),
+        "3": ((84.1, 32.8), (78.2, 51.2), (71.3, 25.7), (57.0, 53.1),
+              (10.7, 10.5), (71.3, 49.2), (37.0, 26.9), (51.2, 27.0),
+              (79.6, 79.0), (6.0, 8.8), (70.0, 34.9)),
+    },
+    "theta": {
+        "0.55": ((81.2, 42.0), (76.8, 50.5), (76.6, 41.9), (56.5, 53.1),
+                 (8.2, 9.4), (78.7, 65.5), (80.6, 65.4), (56.1, 35.5),
+                 (52.4, 30.9), (12.5, 25.7), (67.8, 26.0)),
+        "0.75": ((84.7, 24.2), (76.4, 56.3), (71.8, 24.6), (53.0, 49.2),
+                 (11.1, 11.0), (74.2, 58.9), (35.0, 22.9), (51.4, 29.5),
+                 (59.2, 48.0), (10.3, 18.7), (68.9, 33.9)),
+        "0.95": ((82.4, 47.7), (84.3, 72.1), (73.1, 44.7), (None, None),
+                 (9.8, 11.0), (71.0, 54.9), (73.3, 66.5), (57.3, 33.2),
+                 (90.2, 87.2), (12.4, 19.0), (68.3, 25.9)),
+    },
+}
+
+#: Table 5: URL-classifier variants (requests-% per fully-crawled site + MR).
+TABLE5: dict[str, tuple[tuple[float, ...], float]] = {
+    "URL_ONLY-LR": ((82.1, 75.1, 71.3, 53.2, 11.7, 76.1, 36.5, 52.6, 60.7,
+                     15.9, 62.3), 2.62),
+    "URL_ONLY-SVM": ((82.7, 75.7, 71.8, 63.6, 11.3, 76.0, 37.4, 52.2, 63.5,
+                      16.7, 61.5), 2.99),
+    "URL_ONLY-NB": ((82.9, 75.2, 72.1, 53.7, 11.4, 76.3, 35.8, 52.7, 59.7,
+                     18.0, 63.1), 2.92),
+    "URL_ONLY-PA": ((82.3, 74.4, 71.7, 53.3, 11.1, 75.8, 36.7, 51.6, 60.5,
+                     15.9, 60.9), 2.56),
+    "URL_CONT-LR": ((82.2, 74.4, 71.9, 54.3, 11.3, 76.4, 37.8, 52.9, 64.7,
+                     16.8, 60.0), 5.93),
+    "URL_CONT-SVM": ((82.6, 75.0, 71.8, 52.8, 11.6, 76.4, 38.8, 53.1, 61.1,
+                      18.7, 60.1), 6.36),
+    "URL_CONT-NB": ((84.1, 74.7, 71.9, 53.6, 11.4, 75.7, 35.5, 52.3, 59.9,
+                     19.1, 60.4), 7.15),
+    "URL_CONT-PA": ((82.5, 75.1, 71.9, 53.6, 11.6, 76.2, 38.4, 52.1, 62.6,
+                     16.1, 60.6), 4.12),
+}
+
+#: Table 6: mean / STD of non-zero mean rewards per site.
+TABLE6_MEAN: tuple[float, ...] = (
+    1.7, 1.5, 4.5, 30.2, 12.4, 4.2, 2.5, 3.1, 1.6,
+    3.5, 3.5, 5.4, 2.0, 2.5, 5.5, 15.4, 3.0, 2.1,
+)
+TABLE6_STD: tuple[float, ...] = (
+    16.8, 5.35, 20.9, 290.3, 2.8, 8.9, 7.1, 53.9, 4.2,
+    11.1, 17.4, 10.5, 8.7, 9.3, 13.9, 18.8, 22.0, 43.5,
+)
+
+#: Table 7: SD yield % and mean #SDs per target, for 7 sampled sites.
+TABLE7: dict[str, tuple[float, float]] = {
+    "be": (82.0, 9.1),
+    "ed": (35.0, 2.8),
+    "is": (93.0, 2.9),
+    "in": (40.0, 2.1),
+    "nc": (83.0, 2.1),
+    "oe": (60.0, 4.9),
+    "wh": (40.0, 1.4),
+}
+
+#: Table 16: confusion matrix of the URL classifier (row-major %, classes
+#: HTML / Target / Neither), averaged over the 11 fully-crawled sites.
+TABLE16_CONFUSION: tuple[tuple[float, float, float], ...] = (
+    (58.04, 1.37, 0.00),
+    (0.75, 32.19, 0.00),
+    (5.34, 2.41, 0.00),
+)
+
+#: Figure 5: the paper's cross-site averages of top-group mean rewards
+#: ("the best group averages 258, followed by 89, 74, 67, and 41 for the
+#: 10th").
+FIGURE5_TOP_GROUP_AVG = 258.0
+FIGURE5_TENTH_GROUP_AVG = 41.0

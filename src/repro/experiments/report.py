@@ -1,0 +1,78 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+import math
+
+
+def fmt_cell(value: float | None, width: int = 6, digits: int = 1) -> str:
+    """Format a metric cell: numbers, '+inf', 'NA' for missing."""
+    if value is None:
+        return "NA".rjust(width)
+    if isinstance(value, float) and math.isinf(value):
+        return "+inf".rjust(width)
+    return f"{value:.{digits}f}".rjust(width)
+
+
+def render_table(
+    title: str,
+    columns: list[str],
+    rows: list[tuple[str, list[float | None]]],
+    digits: int = 1,
+    label_width: int = 22,
+) -> str:
+    """Render a labelled matrix as fixed-width text."""
+    width = max(6, max((len(c) for c in columns), default=6) + 1)
+    lines = [title, "=" * len(title)]
+    header = " " * label_width + "".join(c.rjust(width) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in rows:
+        cells = "".join(fmt_cell(v, width, digits) for v in values)
+        lines.append(label.ljust(label_width)[:label_width] + cells)
+    return "\n".join(lines)
+
+
+def render_pairs_table(
+    title: str,
+    columns: list[str],
+    rows: list[tuple[str, list[tuple[float | None, float | None]]]],
+    label_width: int = 16,
+) -> str:
+    """Render cells of the form ``req|vol`` (the paper's Table 4 style)."""
+    width = 14
+    lines = [title, "=" * len(title)]
+    header = " " * label_width + "".join(c.rjust(width) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in rows:
+        cells = ""
+        for left, right in values:
+            cell = f"{fmt_cell(left, 5)}|{fmt_cell(right, 5)}"
+            cells += cell.rjust(width)
+        lines.append(label.ljust(label_width)[:label_width] + cells)
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    xs: list[float],
+    ys: list[float],
+    width: int = 64,
+    height: int = 14,
+    title: str = "",
+) -> str:
+    """Tiny ASCII line plot (used by the example scripts and figures)."""
+    if not xs or not ys or len(xs) != len(ys):
+        return f"{title} (no data)"
+    x_max = max(xs) or 1.0
+    y_max = max(ys) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = min(width - 1, int(x / x_max * (width - 1)))
+        row = min(height - 1, int(y / y_max * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    lines = [title] if title else []
+    lines.append(f"y_max={y_max:.3g}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width + f"  x_max={x_max:.3g}")
+    return "\n".join(lines)

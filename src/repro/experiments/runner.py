@@ -1,0 +1,144 @@
+"""Crawl-run orchestration with caching.
+
+Building a site environment and running a crawler on it are both
+deterministic given (site, scale, crawler-key, seed), so the runner
+memoises them: Table 2, Table 3, Table 6 and the figures all reuse the
+same default-configuration runs, like the paper's local-replication
+methodology reuses one stored crawl database across analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.baselines import (
+    BFSCrawler,
+    DFSCrawler,
+    FocusedCrawler,
+    OmniscientCrawler,
+    RandomCrawler,
+    TPOffCrawler,
+    TresCrawler,
+)
+from repro.core.base import Crawler, CrawlResult
+from repro.core.crawler import SBConfig, SBCrawler
+from repro.http.environment import CrawlEnvironment
+from repro.webgraph.sites import PAPER_SITES, load_paper_site
+
+#: Row order of the comparison tables (paper's Tables 2–3).
+CRAWLER_ORDER: tuple[str, ...] = (
+    "SB-ORACLE",
+    "SB-CLASSIFIER",
+    "FOCUSED",
+    "TP-OFF",
+    "BFS",
+    "DFS",
+    "RANDOM",
+)
+
+
+def crawler_factory(name: str, seed: int = 1,
+                    sb_config: SBConfig | None = None) -> Crawler:
+    """Instantiate a crawler by its table name."""
+    base = sb_config or SBConfig()
+    if name == "SB-ORACLE":
+        return SBCrawler(replace(base, use_oracle=True, seed=seed))
+    if name == "SB-CLASSIFIER":
+        return SBCrawler(replace(base, use_oracle=False, seed=seed))
+    if name == "FOCUSED":
+        return FocusedCrawler(seed=seed)
+    if name == "TP-OFF":
+        return TPOffCrawler(bootstrap_pages=300, seed=seed)
+    if name == "BFS":
+        return BFSCrawler()
+    if name == "DFS":
+        return DFSCrawler()
+    if name == "RANDOM":
+        return RandomCrawler(seed=seed)
+    if name == "OMNISCIENT":
+        return OmniscientCrawler()
+    if name == "TRES":
+        return TresCrawler(seed=seed)
+    raise ValueError(f"unknown crawler: {name!r}")
+
+
+class ResultCache:
+    """Memoises environments and crawl results for one process."""
+
+    def __init__(self, scale: float = 1.0) -> None:
+        self.scale = scale
+        self._envs: dict[str, CrawlEnvironment] = {}
+        self._results: dict[tuple, CrawlResult] = {}
+
+    # -- environments ------------------------------------------------------
+
+    def env(self, site: str) -> CrawlEnvironment:
+        cached = self._envs.get(site)
+        if cached is None:
+            cached = CrawlEnvironment(load_paper_site(site, scale=self.scale))
+            self._envs[site] = cached
+        return cached
+
+    def sites(self) -> list[str]:
+        return sorted(PAPER_SITES)
+
+    # -- runs ------------------------------------------------------------
+
+    def run(
+        self,
+        site: str,
+        crawler_name: str,
+        seed: int = 1,
+        sb_config: SBConfig | None = None,
+        budget: float | None = None,
+        config_key: str = "default",
+    ) -> CrawlResult:
+        key = (site, crawler_name, seed, config_key, budget)
+        cached = self._results.get(key)
+        if cached is None:
+            crawler = crawler_factory(crawler_name, seed=seed, sb_config=sb_config)
+            cached = crawler.crawl(self.env(site), budget=budget)
+            self._results[key] = cached
+        return cached
+
+    def run_seeds(
+        self,
+        site: str,
+        crawler_name: str,
+        seeds: tuple[int, ...],
+        sb_config: SBConfig | None = None,
+        config_key: str = "default",
+    ) -> list[CrawlResult]:
+        """One run per seed for stochastic crawlers, one total otherwise."""
+        if crawler_name in ("BFS", "DFS", "TP-OFF", "OMNISCIENT", "FOCUSED"):
+            seeds = seeds[:1]  # deterministic crawlers: one run suffices
+        return [
+            self.run(site, crawler_name, seed=s, sb_config=sb_config,
+                     config_key=config_key)
+            for s in seeds
+        ]
+
+
+_DEFAULT_CACHES: dict[float, ResultCache] = {}
+
+
+def default_cache(scale: float = 1.0) -> ResultCache:
+    """Process-wide cache shared by tables/figures at the same scale."""
+    cache = _DEFAULT_CACHES.get(scale)
+    if cache is None:
+        cache = ResultCache(scale=scale)
+        _DEFAULT_CACHES[scale] = cache
+    return cache
+
+
+def average_metric(
+    results: list[CrawlResult],
+    metric: Callable[[CrawlResult], float],
+) -> float:
+    """Mean of a metric over runs; ∞ if any run never reaches it (the
+    paper reports +∞ in that case)."""
+    values = [metric(r) for r in results]
+    if any(v == float("inf") for v in values):
+        return float("inf")
+    return sum(values) / len(values)

@@ -1,0 +1,81 @@
+"""Table 7: SD retrieval precision across sampled targets.
+
+The paper manually inspected 40 random targets on each of 7 sites.  We
+sample the same number of retrieved targets from an SB-CLASSIFIER crawl,
+generate their file contents (:mod:`repro.sd.content`) and run the table
+detector (:mod:`repro.sd.detector`) — measuring "SD yield" (% of targets
+with ≥ 1 statistics table) and the mean number of SDs per SD-bearing
+target, next to the paper's values.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.experiments import paperdata
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_table
+from repro.experiments.runner import ResultCache, default_cache
+from repro.sd.content import TargetContentGenerator
+from repro.sd.detector import count_statistic_tables
+
+#: The 7 sites the paper sampled, 40 targets each.
+TABLE7_SITES: tuple[str, ...] = ("be", "ed", "is", "in", "nc", "oe", "wh")
+SAMPLE_SIZE = 40
+
+
+@dataclass
+class Table7Result:
+    sites: list[str]
+    yields_pct: list[float]
+    mean_sds: list[float]
+
+    def render(self) -> str:
+        paper_yield = [paperdata.TABLE7[s][0] for s in self.sites]
+        paper_mean = [paperdata.TABLE7[s][1] for s in self.sites]
+        return render_table(
+            "Table 7: SD retrieval across sampled targets",
+            self.sites,
+            [
+                ("SD Yield (%)", list(self.yields_pct)),
+                ("  (paper)", paper_yield),
+                ("Mean #SDs/Target", list(self.mean_sds)),
+                ("  (paper)", paper_mean),
+            ],
+        )
+
+
+def compute_table7(
+    config: ExperimentConfig | None = None,
+    cache: ResultCache | None = None,
+    sites: tuple[str, ...] = TABLE7_SITES,
+    sample_size: int = SAMPLE_SIZE,
+) -> Table7Result:
+    config = config or ExperimentConfig()
+    cache = cache or default_cache(config.scale)
+    yields_pct: list[float] = []
+    mean_sds: list[float] = []
+    for site in sites:
+        env = cache.env(site)
+        result = cache.run(site, "SB-CLASSIFIER", seed=config.run_seeds()[0])
+        retrieved = sorted(result.targets)
+        rng = random.Random(42)
+        sample = (
+            rng.sample(retrieved, sample_size)
+            if len(retrieved) > sample_size
+            else retrieved
+        )
+        generator = TargetContentGenerator(site, seed=0)
+        counts: list[int] = []
+        for url in sample:
+            page = env.graph.get(url)
+            mime = page.mime_type if page is not None else "application/pdf"
+            generated = generator.generate(url, mime or "application/pdf")
+            counts.append(count_statistic_tables(generated.body, generated.mime_type))
+        with_tables = [c for c in counts if c > 0]
+        yields_pct.append(100.0 * len(with_tables) / len(counts) if counts else 0.0)
+        mean_sds.append(
+            sum(with_tables) / len(with_tables) if with_tables else 0.0
+        )
+    return Table7Result(sites=list(sites), yields_pct=yields_pct, mean_sds=mean_sds)

@@ -1,0 +1,89 @@
+"""Minimal DOM tree with tag-path segments.
+
+A *tag-path segment* is the canonical string form of one element on a
+root-to-anchor path: ``tag`` + optional ``#id`` + zero or more
+``.class`` suffixes, e.g. ``div#main.container``.  A full tag path is
+the space-separated segment sequence, exactly as in the paper's
+examples (``html body div#main ul.datasets li a``).
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DomElement:
+    """One element of the DOM tree used by the renderer."""
+
+    tag: str
+    elem_id: str | None = None
+    classes: tuple[str, ...] = ()
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list["DomElement | str"] = field(default_factory=list)
+
+    @property
+    def segment(self) -> str:
+        return render_segment(self.tag, self.elem_id, self.classes)
+
+    def append(self, child: "DomElement | str") -> None:
+        self.children.append(child)
+
+    def find_child(self, segment: str) -> "DomElement | None":
+        """Return the first element child whose segment string matches."""
+        for child in self.children:
+            if isinstance(child, DomElement) and child.segment == segment:
+                return child
+        return None
+
+    def to_html(self, indent: int = 0) -> str:
+        """Serialise this subtree to HTML text."""
+        pad = "  " * indent
+        attrs = []
+        if self.elem_id:
+            attrs.append(f'id="{html_escape.escape(self.elem_id, quote=True)}"')
+        if self.classes:
+            joined = " ".join(self.classes)
+            attrs.append(f'class="{html_escape.escape(joined, quote=True)}"')
+        for key, value in self.attrs.items():
+            attrs.append(f'{key}="{html_escape.escape(value, quote=True)}"')
+        attr_text = (" " + " ".join(attrs)) if attrs else ""
+        if not self.children:
+            return f"{pad}<{self.tag}{attr_text}></{self.tag}>"
+        parts = [f"{pad}<{self.tag}{attr_text}>"]
+        for child in self.children:
+            if isinstance(child, DomElement):
+                parts.append(child.to_html(indent + 1))
+            else:
+                parts.append("  " * (indent + 1) + html_escape.escape(child))
+        parts.append(f"{pad}</{self.tag}>")
+        return "\n".join(parts)
+
+
+def render_segment(tag: str, elem_id: str | None, classes: tuple[str, ...]) -> str:
+    """Canonical segment string: ``tag#id.cls1.cls2``."""
+    out = tag
+    if elem_id:
+        out += f"#{elem_id}"
+    for cls in classes:
+        out += f".{cls}"
+    return out
+
+
+def parse_segment(segment: str) -> tuple[str, str | None, tuple[str, ...]]:
+    """Inverse of :func:`render_segment`.
+
+    ``"div#main.container"`` → ``("div", "main", ("container",))``.
+    The id, if present, always precedes the classes in canonical form.
+    """
+    tag = segment
+    elem_id: str | None = None
+    classes: list[str] = []
+    if "." in tag:
+        tag, *classes = tag.split(".")
+    if "#" in tag:
+        tag, elem_id = tag.split("#", 1)
+    if not tag:
+        raise ValueError(f"segment with empty tag: {segment!r}")
+    return tag, elem_id, tuple(classes)

@@ -1,0 +1,183 @@
+"""HTML parsing: recover hyperlinks and their DOM tag paths.
+
+This is the crawler-side inverse of :mod:`repro.html.render`, built on
+the standard library's :class:`html.parser.HTMLParser`.  For every
+``<a>``, ``<area>`` or ``<iframe>`` with a link attribute it emits the
+root-to-element tag path (with ``#id`` / ``.class`` annotations, Sec.
+2.2) plus the anchor text, and it accumulates a bounded sample of the
+page text (used by the URL_CONT feature set and the TRES baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+
+from repro.html.dom import render_segment
+from repro.webgraph.model import Form, Link
+
+#: Elements that never contain children (no closing tag expected).
+_VOID_ELEMENTS = frozenset(
+    {"area", "base", "br", "col", "embed", "hr", "img", "input",
+     "link", "meta", "param", "source", "track", "wbr"}
+)
+
+#: Elements whose links we extract, with the attribute holding the URL.
+_LINK_ELEMENTS = {"a": "href", "area": "href", "iframe": "src"}
+
+
+@dataclass
+class ParsedPage:
+    """Result of parsing one HTML document."""
+
+    links: list[Link] = field(default_factory=list)
+    text: str = ""
+    title: str = ""
+    #: GET search forms found on the page (deep-web extension); their
+    #: ``result_urls`` are always empty — a crawler must enumerate.
+    forms: list[Form] = field(default_factory=list)
+
+
+class _LinkExtractor(HTMLParser):
+    """Stack-based tag-path tracker."""
+
+    def __init__(self, text_limit: int = 4000) -> None:
+        super().__init__(convert_charrefs=True)
+        self._stack: list[str] = []
+        self._links: list[Link] = []
+        self._pending: list[tuple[str, str, list[str]]] = []  # url, path, texts
+        self._text_parts: list[str] = []
+        self._text_len = 0
+        self._text_limit = text_limit
+        self._in_title = False
+        self._title_parts: list[str] = []
+        self._forms: list[Form] = []
+        self._form_action: str | None = None
+        self._form_fields: list[tuple[str, list[str]]] = []
+        self._select_name: str | None = None
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _segment(tag: str, attrs: list[tuple[str, str | None]]) -> str:
+        elem_id = None
+        classes: tuple[str, ...] = ()
+        for key, value in attrs:
+            if key == "id" and value:
+                elem_id = value
+            elif key == "class" and value:
+                classes = tuple(value.split())
+        return render_segment(tag, elem_id, classes)
+
+    def _record_link(self, tag: str, attrs: list[tuple[str, str | None]],
+                     segment: str, closed: bool) -> bool:
+        url_attr = _LINK_ELEMENTS.get(tag)
+        if url_attr is None:
+            return False
+        url = dict((k, v) for k, v in attrs).get(url_attr)
+        if not url:
+            return False
+        path = " ".join(self._stack + [segment])
+        if closed:
+            self._links.append(Link(url=url, tag_path=path, anchor=""))
+            return False
+        self._pending.append((url, path, []))
+        return True
+
+    # -- HTMLParser hooks -------------------------------------------------
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        segment = self._segment(tag, attrs)
+        attr_map = {k: v for k, v in attrs}
+        if tag == "title":
+            self._in_title = True
+        elif tag == "form":
+            self._form_action = attr_map.get("action") or ""
+            self._form_fields = []
+        elif tag == "select" and self._form_action is not None:
+            self._select_name = attr_map.get("name") or f"f{len(self._form_fields)}"
+            self._form_fields.append((self._select_name, []))
+        elif tag == "option" and self._select_name is not None:
+            value = attr_map.get("value")
+            if value and self._form_fields:
+                self._form_fields[-1][1].append(value)
+        self._record_link(tag, attrs, segment, closed=False)
+        if tag not in _VOID_ELEMENTS:
+            self._stack.append(segment)
+
+    def handle_startendtag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        segment = self._segment(tag, attrs)
+        self._record_link(tag, attrs, segment, closed=True)
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag == "title":
+            self._in_title = False
+        elif tag == "select":
+            self._select_name = None
+        elif tag == "form" and self._form_action is not None:
+            if self._form_action and self._form_fields:
+                self._forms.append(
+                    Form(
+                        action=self._form_action,
+                        fields=tuple(
+                            (name, tuple(values))
+                            for name, values in self._form_fields
+                            if values
+                        ),
+                    )
+                )
+            self._form_action = None
+            self._form_fields = []
+        # Pop the stack back to the matching open tag (tolerant of
+        # mis-nesting, like real crawlers must be).
+        for index in range(len(self._stack) - 1, -1, -1):
+            stack_tag = self._stack[index].split("#")[0].split(".")[0]
+            if stack_tag == tag:
+                del self._stack[index:]
+                break
+        if tag in _LINK_ELEMENTS and self._pending:
+            url, path, texts = self._pending.pop()
+            self._links.append(
+                Link(url=url, tag_path=path, anchor=" ".join(texts).strip())
+            )
+
+    def handle_data(self, data: str) -> None:
+        stripped = data.strip()
+        if not stripped:
+            return
+        if self._in_title:
+            self._title_parts.append(stripped)
+        if self._pending:
+            self._pending[-1][2].append(stripped)
+        if self._text_len < self._text_limit:
+            self._text_parts.append(stripped)
+            self._text_len += len(stripped) + 1
+
+    # -- results ------------------------------------------------------------
+
+    def result(self) -> ParsedPage:
+        # Flush anchors whose closing tag never came (broken HTML).
+        while self._pending:
+            url, path, texts = self._pending.pop()
+            self._links.append(
+                Link(url=url, tag_path=path, anchor=" ".join(texts).strip())
+            )
+        return ParsedPage(
+            links=self._links,
+            text=" ".join(self._text_parts)[: self._text_limit],
+            title=" ".join(self._title_parts),
+            forms=self._forms,
+        )
+
+
+def parse_page(html_text: str, text_limit: int = 4000) -> ParsedPage:
+    """Parse an HTML document into links (with tag paths), text and title."""
+    extractor = _LinkExtractor(text_limit=text_limit)
+    extractor.feed(html_text)
+    extractor.close()
+    return extractor.result()
+
+
+def extract_links(html_text: str) -> list[Link]:
+    """Convenience wrapper returning only the links."""
+    return parse_page(html_text).links

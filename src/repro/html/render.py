@@ -1,0 +1,132 @@
+"""Render a generated page into HTML text.
+
+The renderer materialises the tag paths declared on the page's links
+into a real DOM: link tag paths sharing a prefix share the corresponding
+ancestor elements (exactly like a CMS layout), anchors are emitted with
+``href`` and anchor text, and deterministic filler paragraphs pad the
+body so the response size matches the page's sampled size.
+
+Invariant (tested): parsing the rendered HTML recovers exactly the
+page's declared ``(url, tag_path, anchor)`` link set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from urllib.parse import urlsplit
+
+from repro.html.dom import DomElement, parse_segment
+from repro.webgraph.model import Link, Page, same_site
+
+_FILLER_WORDS = (
+    "official figures for the reporting period are compiled by the national "
+    "statistical service and published in accordance with the dissemination "
+    "calendar the tables cover demographic economic and social indicators "
+    "methodological notes accompany each release"
+).split()
+
+
+def _filler_sentence(seed_text: str, index: int) -> str:
+    digest = hashlib.blake2b(
+        f"{seed_text}:{index}".encode("utf-8"), digest_size=4
+    ).digest()
+    start = digest[0] % len(_FILLER_WORDS)
+    length = 8 + digest[1] % 10
+    words = [_FILLER_WORDS[(start + i) % len(_FILLER_WORDS)] for i in range(length)]
+    return " ".join(words).capitalize() + "."
+
+
+def _href_form(page_url: str, link_url: str) -> str:
+    """How this href is written in the HTML: absolute, path-absolute or
+    fragment-decorated.  Deterministic per (page, link) so rendering is
+    stable; real pages mix all three forms, and crawlers must resolve
+    them (``repro.webgraph.canonical``)."""
+    digest = hashlib.blake2b(
+        f"{page_url}|{link_url}".encode("utf-8"), digest_size=2
+    ).digest()
+    selector = digest[0] % 5
+    if selector == 0 and same_site(page_url, link_url):
+        # Path-absolute href, like most CMS output.
+        parts = urlsplit(link_url)
+        href = parts.path or "/"
+        if parts.query:
+            href += f"?{parts.query}"
+        return href
+    if selector == 1:
+        return f"{link_url}#content"
+    return link_url
+
+
+def _build_dom(page_url: str, links: list[Link]) -> DomElement:
+    """Merge link tag paths into a single DOM tree."""
+    root = DomElement("html")
+    for link in links:
+        segments = link.tag_path.split(" ")
+        if not segments or segments[0] != "html":
+            raise ValueError(f"tag path must start at html: {link.tag_path!r}")
+        node = root
+        for segment in segments[1:-1]:
+            child = node.find_child(segment)
+            if child is None:
+                tag, elem_id, classes = parse_segment(segment)
+                child = DomElement(tag, elem_id, classes)
+                node.append(child)
+            node = child
+        # The final segment is the anchor itself: one element per link.
+        tag, elem_id, classes = parse_segment(segments[-1])
+        anchor = DomElement(
+            tag, elem_id, classes,
+            attrs={"href": _href_form(page_url, link.url)},
+        )
+        if link.anchor:
+            anchor.append(link.anchor)
+        node.append(anchor)
+    return root
+
+
+def render_page(page: Page) -> str:
+    """Render ``page`` to HTML whose length is ``page.size`` when possible."""
+    root = _build_dom(page.url, page.links)
+    body = root.find_child("body")
+    if body is None:
+        body = DomElement("body")
+        root.append(body)
+    # Head with a title derived from the URL.
+    head = DomElement("head")
+    title = DomElement("title")
+    title.append(page.url.rsplit("/", 1)[-1] or page.section or "page")
+    head.append(title)
+    root.children.insert(0, head)
+    # Search forms (deep-web extension).
+    for index, form in enumerate(page.forms):
+        form_element = DomElement(
+            "form",
+            elem_id=f"search-form-{index}" if index else "search-form",
+            classes=("deep-search",),
+            attrs={"action": form.action, "method": "get"},
+        )
+        for name, values in form.fields:
+            select = DomElement("select", attrs={"name": name})
+            for value in values:
+                option = DomElement("option", attrs={"value": value})
+                option.append(value)
+                select.append(option)
+            form_element.append(select)
+        submit = DomElement("input", attrs={"type": "submit", "value": "Search"})
+        form_element.append(submit)
+        body.append(form_element)
+    # Filler paragraphs inside the main content area.
+    content = DomElement("div", classes=("page-text",))
+    for index in range(3):
+        paragraph = DomElement("p")
+        paragraph.append(_filler_sentence(page.url, index))
+        content.append(paragraph)
+    body.append(content)
+
+    html_text = "<!DOCTYPE html>\n" + root.to_html()
+    remaining = page.size - len(html_text)
+    if remaining > 25:
+        # Pad with an HTML comment so len(body) == page.size exactly.
+        pad = "x" * (remaining - 10)
+        html_text += f"\n<!-- {pad} -->"
+    return html_text

@@ -1,0 +1,26 @@
+"""Simulated HTTP layer.
+
+Crawlers interact with websites exclusively through this layer: GET/HEAD
+requests against a :class:`SimulatedServer` built over a
+:class:`~repro.webgraph.model.WebsiteGraph`, with every request and byte
+accounted in a :class:`CostLedger` and logged in a crawl trace.  The
+paper's evaluation measures exactly these quantities (requests and data
+volume; Sec. 4.4 excludes wall-clock time on purpose).
+"""
+
+from repro.http.messages import Response
+from repro.http.ledger import CostLedger
+from repro.http.server import SimulatedServer
+from repro.http.client import HttpClient
+from repro.http.environment import CrawlEnvironment
+from repro.http.cache import PageStore, ReplicatingFetcher
+
+__all__ = [
+    "Response",
+    "CostLedger",
+    "SimulatedServer",
+    "HttpClient",
+    "CrawlEnvironment",
+    "PageStore",
+    "ReplicatingFetcher",
+]

@@ -1,0 +1,165 @@
+"""Local replication database (the paper's evaluation infrastructure).
+
+Sec. 4.4: to evaluate seven crawlers under many hyper-parameter settings
+without re-crawling live websites, every crawler "first checks if the
+resource is already stored in a local database.  If so, we use it;
+otherwise, we fetch it via HTTP GET and the URL, HTTP status, headers,
+and response body are stored".  The artifact kit exposes three modes:
+*local* (serve from the database only), *semi-online* (database with
+fetch-on-miss) and *online-to-local* (naively replicate a site first).
+
+:class:`PageStore` is a SQLite-backed store of responses (bodies are
+zlib-compressed); :class:`ReplicatingFetcher` layers the three modes on
+top of any live source (here: the simulated server).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import zlib
+from pathlib import Path
+
+from repro.http.messages import Response
+from repro.http.server import SimulatedServer
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS responses (
+    url          TEXT NOT NULL,
+    method       TEXT NOT NULL,
+    status       INTEGER NOT NULL,
+    mime_type    TEXT,
+    size         INTEGER NOT NULL,
+    redirect_to  TEXT,
+    body         BLOB,
+    PRIMARY KEY (url, method)
+);
+"""
+
+
+class PageStore:
+    """SQLite store of HTTP responses, keyed by (url, method)."""
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self._conn = sqlite3.connect(str(path))
+        self._conn.execute("PRAGMA journal_mode=WAL;")
+        self._conn.execute(_SCHEMA)
+        self._conn.commit()
+
+    # -- context manager --------------------------------------------------
+
+    def __enter__(self) -> "PageStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # -- CRUD ----------------------------------------------------------------
+
+    def put(self, response: Response) -> None:
+        body_blob = zlib.compress(response.body.encode("utf-8")) if response.body else None
+        self._conn.execute(
+            "INSERT OR REPLACE INTO responses "
+            "(url, method, status, mime_type, size, redirect_to, body) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                response.url,
+                response.method,
+                response.status,
+                response.mime_type,
+                response.size,
+                response.redirect_to,
+                body_blob,
+            ),
+        )
+        self._conn.commit()
+
+    def get(self, url: str, method: str = "GET") -> Response | None:
+        row = self._conn.execute(
+            "SELECT url, method, status, mime_type, size, redirect_to, body "
+            "FROM responses WHERE url = ? AND method = ?",
+            (url, method),
+        ).fetchone()
+        if row is None:
+            return None
+        body = zlib.decompress(row[6]).decode("utf-8") if row[6] is not None else ""
+        return Response(
+            url=row[0],
+            method=row[1],
+            status=row[2],
+            mime_type=row[3],
+            size=row[4],
+            body=body,
+            redirect_to=row[5],
+        )
+
+    def __contains__(self, url: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM responses WHERE url = ? LIMIT 1", (url,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(DISTINCT url) FROM responses"
+        ).fetchone()
+        return int(count)
+
+    def urls(self) -> list[str]:
+        rows = self._conn.execute("SELECT DISTINCT url FROM responses").fetchall()
+        return [r[0] for r in rows]
+
+
+class ReplicatingFetcher:
+    """Fetch-through cache implementing the artifact kit's three modes."""
+
+    def __init__(
+        self,
+        source: SimulatedServer,
+        store: PageStore,
+        mode: str = "semi-online",
+    ) -> None:
+        if mode not in ("local", "semi-online"):
+            raise ValueError("mode must be 'local' or 'semi-online'")
+        self.source = source
+        self.store = store
+        self.mode = mode
+        self.n_live_fetches = 0
+
+    def get(self, url: str) -> Response:
+        cached = self.store.get(url, "GET")
+        if cached is not None:
+            return cached
+        if self.mode == "local":
+            # A URL absent from a full local replication does not exist.
+            return Response(url=url, method="GET", status=404, size=0)
+        response = self.source.get(url)
+        self.n_live_fetches += 1
+        self.store.put(response)
+        return response
+
+    def head(self, url: str) -> Response:
+        cached = self.store.get(url, "HEAD")
+        if cached is not None:
+            return cached
+        if self.mode == "local":
+            return Response(url=url, method="HEAD", status=404, size=0)
+        response = self.source.head(url)
+        self.n_live_fetches += 1
+        self.store.put(response)
+        return response
+
+
+def replicate_site(server: SimulatedServer, store: PageStore) -> int:
+    """Online-to-local mode: naively replicate every URL of the site.
+
+    Returns the number of responses stored.
+    """
+    count = 0
+    for url in list(server.graph.urls()):
+        store.put(server.get(url))
+        store.put(server.head(url))
+        count += 1
+    return count

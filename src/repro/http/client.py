@@ -1,0 +1,107 @@
+"""Crawler-facing HTTP client with cost accounting.
+
+Every GET/HEAD is recorded both in a :class:`CostLedger` (totals) and a
+:class:`~repro.analysis.trace.CrawlTrace` (per-request log).  The client
+refuses to fetch URLs outside the website boundary — crawler code must
+apply the Sec. 2.2 same-site rule before scheduling a URL, and this
+check turns a forgotten filter into a loud error instead of a silently
+wrong experiment.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trace import CrawlRecord, CrawlTrace
+from repro.http.ledger import CostLedger
+from repro.http.messages import Response
+from repro.http.server import SimulatedServer
+from repro.webgraph.mime import is_target_mime
+from repro.webgraph.model import same_site
+
+
+class OffsiteRequestError(RuntimeError):
+    """Raised when a crawler requests a URL outside the site boundary."""
+
+
+class HttpClient:
+    """One crawler's connection to the simulated server."""
+
+    def __init__(
+        self,
+        server: SimulatedServer,
+        crawler_name: str = "",
+        enforce_boundary: bool = True,
+        target_mimes: frozenset[str] | None = None,
+    ) -> None:
+        self.server = server
+        self.ledger = CostLedger()
+        self.trace = CrawlTrace(crawler=crawler_name, site=server.graph.name)
+        self.enforce_boundary = enforce_boundary
+        self.target_mimes = target_mimes
+
+    # -- internals -----------------------------------------------------
+
+    def _check_boundary(self, url: str) -> None:
+        if self.enforce_boundary and not same_site(self.server.graph.root_url, url):
+            raise OffsiteRequestError(
+                f"crawler requested off-site URL: {url!r} "
+                f"(site root {self.server.graph.root_url!r})"
+            )
+
+    def _record(self, response: Response) -> None:
+        # robots.txt / sitemap.xml are crawl infrastructure, not data
+        # targets, even though their MIME types (text/plain,
+        # application/xml) appear in the paper's target list.
+        well_known = response.url.rstrip("/").endswith(
+            ("/robots.txt", "/sitemap.xml")
+        )
+        is_target = (
+            response.method == "GET"
+            and response.ok
+            and not response.interrupted
+            and not well_known
+            and is_target_mime(response.mime_root(), self.target_mimes)
+        )
+        self.ledger.record(response.method, response.size, is_target)
+        self.trace.append(
+            CrawlRecord(
+                method=response.method,
+                url=response.url,
+                status=response.status,
+                size=response.size,
+                is_target=is_target,
+            )
+        )
+
+    # -- public API ------------------------------------------------------
+
+    def get(self, url: str) -> Response:
+        """HTTP GET.  Redirects are *not* followed (Algorithm 4 handles 3xx)."""
+        self._check_boundary(url)
+        response = self.server.get(url)
+        self._record(response)
+        return response
+
+    def head(self, url: str) -> Response:
+        """HTTP HEAD: status and headers only, at small volume cost."""
+        self._check_boundary(url)
+        response = self.server.head(url)
+        self._record(response)
+        return response
+
+    # -- cost helpers -----------------------------------------------------
+
+    @property
+    def n_requests(self) -> int:
+        return self.ledger.n_requests
+
+    @property
+    def bytes_received(self) -> int:
+        return self.ledger.bytes_total
+
+    def budget_spent(self, cost_model: str = "requests") -> float:
+        """Budget β under the chosen cost model (Sec. 2.2)."""
+        if cost_model == "requests":
+            return float(self.ledger.n_requests)
+        if cost_model == "volume":
+            return float(self.ledger.bytes_total)
+        raise ValueError(f"unknown cost model: {cost_model}")

@@ -1,0 +1,118 @@
+"""Crawl environment: one website, shared by many crawler runs.
+
+Bundles the website graph, its simulated server and a shared
+parse cache.  Because HTML parsing is deterministic per URL, caching
+parsed pages across crawler runs is behaviour-preserving and mirrors
+the paper's local-replication methodology (every crawler re-reads the
+same stored pages, Sec. 4.4).
+"""
+
+from __future__ import annotations
+
+from repro.html.parse import ParsedPage, parse_page
+from repro.http.client import HttpClient
+from repro.http.messages import Response
+from repro.http.server import SimulatedServer
+from repro.webgraph.model import WebsiteGraph, same_site
+
+
+class CrawlEnvironment:
+    """Shared state for evaluating several crawlers on one website.
+
+    ``target_mimes`` customises the target definition (Sec. 2.2: targets
+    are resources whose MIME type is in a *user-defined* list); the
+    default is the paper's 38-type list.
+    """
+
+    def __init__(
+        self,
+        graph: WebsiteGraph,
+        target_mimes: frozenset[str] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.server = SimulatedServer(graph)
+        self.target_mimes = target_mimes
+        self._parse_cache: dict[str, ParsedPage] = {}
+
+    # -- clients ---------------------------------------------------------
+
+    def new_client(self, crawler_name: str = "") -> HttpClient:
+        """A fresh client (own ledger/trace) sharing this environment."""
+        return HttpClient(
+            self.server, crawler_name=crawler_name, target_mimes=self.target_mimes
+        )
+
+    def is_target_mime(self, mime: str | None) -> bool:
+        """Target test under this environment's (possibly custom) MIME set."""
+        from repro.webgraph.mime import is_target_mime
+
+        return is_target_mime(mime, self.target_mimes)
+
+    # -- parsing -----------------------------------------------------------
+
+    def parse(self, response: Response) -> ParsedPage:
+        """Parse an HTML response body, with a URL-keyed cache.
+
+        Link hrefs are resolved against the page URL and canonicalised
+        (fragments stripped, relative forms made absolute) — the page
+        may write them as ``/path``, ``page#frag`` or absolute URLs.
+        """
+        cached = self._parse_cache.get(response.url)
+        if cached is None:
+            from repro.webgraph.canonical import resolve_link
+            from repro.webgraph.model import Form, Link
+
+            raw = parse_page(response.body)
+            resolved = [
+                Link(
+                    url=resolve_link(response.url, link.url),
+                    tag_path=link.tag_path,
+                    anchor=link.anchor,
+                )
+                for link in raw.links
+            ]
+            forms = [
+                Form(
+                    action=resolve_link(response.url, form.action),
+                    fields=form.fields,
+                )
+                for form in raw.forms
+            ]
+            cached = ParsedPage(
+                links=resolved, text=raw.text, title=raw.title, forms=forms
+            )
+            self._parse_cache[response.url] = cached
+        return cached
+
+    def invalidate(self, url: str) -> None:
+        """Drop the cached parse of ``url`` (used by revisit crawling
+        when a page's content changes)."""
+        self._parse_cache.pop(url, None)
+
+    def in_site(self, url: str) -> bool:
+        """Website-boundary test relative to this site's root (Sec. 2.2)."""
+        return same_site(self.graph.root_url, url)
+
+    # -- ground truth (for oracles and evaluation only) ---------------------
+
+    @property
+    def root_url(self) -> str:
+        return self.graph.root_url
+
+    def _target_pages(self):
+        pages = self.graph.target_pages()
+        if self.target_mimes is None:
+            return pages
+        return [p for p in pages if self.is_target_mime(p.mime_type)]
+
+    def total_targets(self) -> int:
+        return len(self._target_pages())
+
+    def total_target_bytes(self) -> int:
+        return sum(p.size for p in self._target_pages())
+
+    def target_urls(self) -> set[str]:
+        return {p.url for p in self._target_pages()}
+
+    def n_available(self) -> int:
+        return len(self.graph.available_pages())

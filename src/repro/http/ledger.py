@@ -1,0 +1,60 @@
+"""Cost accounting for a crawl.
+
+The paper uses two cost functions ω (Sec. 2.2): request count (each
+GET or HEAD costs 1) and received data volume.  The ledger tracks both
+simultaneously, split into target and non-target volume (needed for the
+Table 3 metric), plus an estimate of wall-clock time under a politeness
+delay — the paper's Sec. 4.4 derives times from requests + bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CostLedger:
+    """Mutable request/volume counters for one crawler run."""
+
+    n_get: int = 0
+    n_head: int = 0
+    bytes_total: int = 0
+    bytes_target: int = 0
+    bytes_non_target: int = 0
+
+    @property
+    def n_requests(self) -> int:
+        """Total requests — the paper's request cost ω (GET and HEAD)."""
+        return self.n_get + self.n_head
+
+    def record(self, method: str, size: int, is_target: bool) -> None:
+        if method == "GET":
+            self.n_get += 1
+        elif method == "HEAD":
+            self.n_head += 1
+        else:
+            raise ValueError(f"unknown method: {method}")
+        self.bytes_total += size
+        if is_target:
+            self.bytes_target += size
+        else:
+            self.bytes_non_target += size
+
+    def estimated_seconds(
+        self, politeness_delay: float = 1.0, bandwidth_bps: float = 10e6
+    ) -> float:
+        """Estimated crawl duration: politeness waits + transfer time.
+
+        Crawling ethics require ~1 s between successive requests; volume
+        transfers at ``bandwidth_bps`` bytes/second.
+        """
+        return self.n_requests * politeness_delay + self.bytes_total / bandwidth_bps
+
+    def snapshot(self) -> "CostLedger":
+        return CostLedger(
+            n_get=self.n_get,
+            n_head=self.n_head,
+            bytes_total=self.bytes_total,
+            bytes_target=self.bytes_target,
+            bytes_non_target=self.bytes_non_target,
+        )

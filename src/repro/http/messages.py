@@ -1,0 +1,55 @@
+"""HTTP message types exchanged between crawlers and the simulated server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Size in bytes we account for a HEAD response (status line + headers).
+HEAD_RESPONSE_SIZE = 280
+
+#: Size accounted for a request we interrupt after the headers because the
+#: MIME type is blocklisted (Sec. 3.4: "its retrieval is immediately
+#: interrupted").
+INTERRUPTED_RESPONSE_SIZE = 512
+
+
+@dataclass
+class Response:
+    """Result of one HTTP request.
+
+    ``size`` is the number of bytes the crawler received for this
+    request, which is what the volume cost model ω counts.  For targets,
+    the simulated server does not materialise multi-megabyte bodies;
+    ``size`` carries the ground-truth content length and ``body`` is
+    empty (content is generated on demand by :mod:`repro.sd` when an
+    experiment needs to look inside a file).
+    """
+
+    url: str
+    method: str
+    status: int
+    mime_type: str | None = None
+    size: int = 0
+    body: str = ""
+    redirect_to: str | None = None
+    headers: dict[str, str] = field(default_factory=dict)
+    #: True when the transfer was cut off due to a blocklisted MIME type.
+    interrupted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        return 300 <= self.status < 400
+
+    @property
+    def is_error(self) -> bool:
+        return self.status >= 400
+
+    def mime_root(self) -> str | None:
+        """MIME type without parameters (``text/html; charset=…`` → ``text/html``)."""
+        if self.mime_type is None:
+            return None
+        return self.mime_type.split(";")[0].strip().lower()

@@ -1,0 +1,140 @@
+"""Simulated HTTP server over a website graph.
+
+Serves GET and HEAD for every URL of the site: HTML pages are rendered
+to real HTML (lazily, cached), targets return their MIME type and
+content length, error URLs return their 4xx/5xx status, redirects
+return 301 + ``Location``.  Unknown in-site URLs 404.  The server is
+stateless with respect to crawlers, so many crawlers can share one
+server (and its render cache) for fair comparisons, exactly like the
+paper's local-replication evaluation mode (Sec. 4.4).
+"""
+
+from __future__ import annotations
+
+from repro.html.render import render_page
+from repro.http.messages import HEAD_RESPONSE_SIZE, INTERRUPTED_RESPONSE_SIZE, Response
+from repro.webgraph.mime import is_blocklisted_mime
+from repro.webgraph.model import PageKind, WebsiteGraph
+
+_ERROR_BODY = "<html><body><h1>Error</h1></body></html>"
+
+
+class SimulatedServer:
+    """Answers HTTP requests for one website."""
+
+    def __init__(self, graph: WebsiteGraph) -> None:
+        self.graph = graph
+        self._render_cache: dict[str, str] = {}
+
+    # -- internals -----------------------------------------------------
+
+    def invalidate(self, url: str) -> None:
+        """Drop the cached rendering of ``url`` (page content changed)."""
+        self._render_cache.pop(url, None)
+
+    def _render(self, url: str) -> str:
+        body = self._render_cache.get(url)
+        if body is None:
+            body = render_page(self.graph.page(url))
+            self._render_cache[url] = body
+        return body
+
+    # -- public API ------------------------------------------------------
+
+    def head(self, url: str) -> Response:
+        """HEAD request: status + headers only, small response size."""
+        page = self.graph.get(url)
+        if page is None:
+            return Response(url=url, method="HEAD", status=404, size=HEAD_RESPONSE_SIZE)
+        headers: dict[str, str] = {}
+        mime = page.mime_type
+        if page.kind is PageKind.HTML:
+            mime = "text/html; charset=utf-8"
+        if mime is not None:
+            headers["Content-Type"] = mime
+        headers["Content-Length"] = str(page.size)
+        if page.redirect_to is not None:
+            headers["Location"] = page.redirect_to
+        return Response(
+            url=url,
+            method="HEAD",
+            status=page.status,
+            mime_type=mime,
+            size=HEAD_RESPONSE_SIZE,
+            redirect_to=page.redirect_to,
+            headers=headers,
+        )
+
+    def _well_known(self, url: str) -> Response | None:
+        """Serve robots.txt / sitemap.xml when the site provides them."""
+        base = self.graph.root_url.rstrip("/")
+        if url == f"{base}/robots.txt" and self.graph.robots_txt is not None:
+            body = self.graph.robots_txt
+            return Response(url=url, method="GET", status=200,
+                            mime_type="text/plain", size=len(body), body=body)
+        if url == f"{base}/sitemap.xml" and self.graph.sitemap_urls:
+            locs = "\n".join(
+                f"  <url><loc>{u}</loc></url>" for u in self.graph.sitemap_urls
+            )
+            body = f'<?xml version="1.0"?>\n<urlset>\n{locs}\n</urlset>\n'
+            return Response(url=url, method="GET", status=200,
+                            mime_type="application/xml", size=len(body), body=body)
+        return None
+
+    def get(self, url: str, blocklist_mime: bool = True) -> Response:
+        """GET request.
+
+        When ``blocklist_mime`` is set, transfers of multimedia MIME
+        types are interrupted right after the headers (the crawler's
+        MIME blocklist, Sec. 3.4) so only a small size is accounted.
+        """
+        well_known = self._well_known(url)
+        if well_known is not None:
+            return well_known
+        page = self.graph.get(url)
+        if page is None:
+            return Response(
+                url=url, method="GET", status=404, size=len(_ERROR_BODY),
+                body=_ERROR_BODY, mime_type="text/html",
+            )
+        if page.redirect_to is not None:
+            return Response(
+                url=url,
+                method="GET",
+                status=page.status,
+                size=page.size,
+                redirect_to=page.redirect_to,
+                headers={"Location": page.redirect_to},
+            )
+        if page.kind is PageKind.ERROR:
+            return Response(
+                url=url, method="GET", status=page.status, size=page.size,
+                body=_ERROR_BODY, mime_type="text/html",
+            )
+        if page.kind is PageKind.HTML:
+            body = self._render(url)
+            return Response(
+                url=url,
+                method="GET",
+                status=200,
+                mime_type="text/html; charset=utf-8",
+                size=len(body),
+                body=body,
+            )
+        # Target or other binary resource.
+        if blocklist_mime and is_blocklisted_mime(page.mime_type):
+            return Response(
+                url=url,
+                method="GET",
+                status=200,
+                mime_type=page.mime_type,
+                size=INTERRUPTED_RESPONSE_SIZE,
+                interrupted=True,
+            )
+        return Response(
+            url=url,
+            method="GET",
+            status=200,
+            mime_type=page.mime_type,
+            size=page.size,
+        )

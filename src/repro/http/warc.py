@@ -1,0 +1,131 @@
+"""WARC-style archival of crawl responses.
+
+Web-archiving crawlers (Heritrix, the Internet Archive stack the paper
+cites) persist fetched resources in WARC files.  This module implements
+a simplified, self-contained WARC/1.1-like writer/reader so a crawl of
+the simulated web can be exported as an archive and re-read later —
+complementing the SQLite :class:`~repro.http.cache.PageStore` with a
+portable, append-only format.
+
+Records follow the WARC layout (``WARC/1.1`` header, named fields,
+blank line, payload, two blank lines); only ``response`` records are
+emitted, with the subset of fields a reader needs.  Payloads are stored
+verbatim (no HTTP envelope) with ``Content-Length`` integrity checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.http.messages import Response
+
+_HEADER = "WARC/1.1"
+
+
+@dataclass(frozen=True)
+class WarcRecord:
+    """One archived response."""
+
+    url: str
+    status: int
+    mime_type: str | None
+    payload: str
+    record_id: str
+
+    def digest(self) -> str:
+        return hashlib.sha1(self.payload.encode("utf-8")).hexdigest()
+
+
+class WarcWriter:
+    """Append-only writer of simplified WARC records."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("a", encoding="utf-8", newline="\n")
+        self._count = 0
+
+    def __enter__(self) -> "WarcWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def write_response(self, response: Response) -> str:
+        """Archive one response; returns the record id."""
+        self._count += 1
+        payload = response.body or ""
+        record_id = f"<urn:repro:{self.path.stem}:{self._count}>"
+        digest = hashlib.sha1(payload.encode("utf-8")).hexdigest()
+        fields = [
+            ("WARC-Type", "response"),
+            ("WARC-Record-ID", record_id),
+            ("WARC-Target-URI", response.url),
+            ("WARC-Payload-Digest", f"sha1:{digest}"),
+            ("X-HTTP-Status", str(response.status)),
+            ("Content-Type", response.mime_type or "application/octet-stream"),
+            ("Content-Length", str(len(payload.encode("utf-8")))),
+        ]
+        self._handle.write(_HEADER + "\n")
+        for key, value in fields:
+            self._handle.write(f"{key}: {value}\n")
+        self._handle.write("\n")
+        self._handle.write(payload)
+        self._handle.write("\n\n")
+        return record_id
+
+
+def read_warc(path: str | Path) -> Iterator[WarcRecord]:
+    """Stream records from a simplified WARC file, verifying digests."""
+    text = Path(path).read_text(encoding="utf-8")
+    position = 0
+    while True:
+        start = text.find(_HEADER, position)
+        if start == -1:
+            return
+        header_end = text.find("\n\n", start)
+        if header_end == -1:
+            raise ValueError("truncated WARC header")
+        headers: dict[str, str] = {}
+        for line in text[start:header_end].splitlines()[1:]:
+            key, _, value = line.partition(":")
+            headers[key.strip()] = value.strip()
+        length = int(headers.get("Content-Length", "0"))
+        payload_start = header_end + 2
+        payload_bytes = text[payload_start:].encode("utf-8")[:length]
+        payload = payload_bytes.decode("utf-8")
+        record = WarcRecord(
+            url=headers.get("WARC-Target-URI", ""),
+            status=int(headers.get("X-HTTP-Status", "0")),
+            mime_type=headers.get("Content-Type"),
+            payload=payload,
+            record_id=headers.get("WARC-Record-ID", ""),
+        )
+        declared = headers.get("WARC-Payload-Digest", "")
+        if declared and declared != f"sha1:{record.digest()}":
+            raise ValueError(f"digest mismatch for {record.url}")
+        yield record
+        position = payload_start + len(payload)
+
+
+def archive_crawl(
+    server,
+    urls: list[str],
+    path: str | Path,
+) -> int:
+    """Fetch ``urls`` from a simulated server and archive the responses.
+
+    Returns the number of records written.  Used to export a crawl (or a
+    full replication) as a portable artefact.
+    """
+    count = 0
+    with WarcWriter(path) as writer:
+        for url in urls:
+            writer.write_response(server.get(url))
+            count += 1
+    return count

@@ -1,0 +1,29 @@
+"""Online machine-learning substrate (no external ML dependencies).
+
+Implements exactly the model family the paper evaluates for the URL
+classifier (Sec. 4.6): logistic regression trained by SGD (the default),
+a linear SVM (hinge loss), a multinomial Naive Bayes and a
+passive-aggressive classifier — all operating on hashed character
+n-gram bag-of-words features and supporting incremental ``partial_fit``.
+"""
+
+from repro.ml.features import HashedVector, char_ngrams, hashed_bow, merge_vectors
+from repro.ml.linear import (
+    LogisticRegressionSGD,
+    LinearSVMSGD,
+    PassiveAggressiveClassifier,
+)
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+from repro.ml.metrics import ConfusionMatrix
+
+__all__ = [
+    "HashedVector",
+    "char_ngrams",
+    "hashed_bow",
+    "merge_vectors",
+    "LogisticRegressionSGD",
+    "LinearSVMSGD",
+    "PassiveAggressiveClassifier",
+    "MultinomialNaiveBayes",
+    "ConfusionMatrix",
+]

@@ -1,0 +1,147 @@
+"""Online linear classifiers on sparse hashed features.
+
+All three models share the interface: ``partial_fit(batch, labels)``
+for incremental mini-batch training and ``predict(vector)`` → 0/1.
+Labels are binary (0 = "HTML", 1 = "Target" for the URL classifier).
+
+* :class:`LogisticRegressionSGD` — the paper's default (Algorithm 2):
+  log-loss SGD with a constant learning rate, mini-batch epochs.
+* :class:`LinearSVMSGD` — hinge-loss SGD with L2 regularisation.
+* :class:`PassiveAggressiveClassifier` — PA-I updates [Shalev-Shwartz
+  et al. 2003], the "PA" variant of Table 5.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+
+from repro.ml.features import HashedVector
+
+
+class _LinearModel:
+    """Shared machinery: dense weight vector over the hashed space."""
+
+    def __init__(self, dim: int, seed: int = 0) -> None:
+        self.dim = dim
+        self.weights = np.zeros(dim, dtype=np.float64)
+        self.bias = 0.0
+        self.n_updates = 0
+        self._rng = random.Random(seed)
+
+    def decision_function(self, x: HashedVector) -> float:
+        if x.dim != self.dim:
+            raise ValueError(f"feature dim {x.dim} != model dim {self.dim}")
+        return float(self.weights[x.indices] @ x.values + self.bias)
+
+    def predict(self, x: HashedVector) -> int:
+        return 1 if self.decision_function(x) > 0.0 else 0
+
+    def predict_many(self, xs: list[HashedVector]) -> list[int]:
+        return [self.predict(x) for x in xs]
+
+    def _shuffled_epochs(
+        self, batch: list[HashedVector], labels: list[int], epochs: int
+    ):
+        indices = list(range(len(batch)))
+        for _ in range(epochs):
+            self._rng.shuffle(indices)
+            for i in indices:
+                yield batch[i], labels[i]
+
+
+class LogisticRegressionSGD(_LinearModel):
+    """Binary logistic regression trained by mini-batch SGD (Algorithm 2)."""
+
+    def __init__(
+        self,
+        dim: int,
+        learning_rate: float = 0.1,
+        l2: float = 1e-6,
+        epochs: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(dim, seed)
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.epochs = epochs
+
+    def predict_proba(self, x: HashedVector) -> float:
+        z = self.decision_function(x)
+        # Clamp to avoid overflow in exp for confident predictions.
+        z = max(-30.0, min(30.0, z))
+        return 1.0 / (1.0 + math.exp(-z))
+
+    def partial_fit(self, batch: list[HashedVector], labels: list[int]) -> None:
+        if len(batch) != len(labels):
+            raise ValueError("batch and labels must have the same length")
+        lr = self.learning_rate
+        for x, y in self._shuffled_epochs(batch, labels, self.epochs):
+            if x.nnz == 0:
+                continue
+            p = self.predict_proba(x)
+            gradient = p - y
+            self.weights[x.indices] -= lr * (
+                gradient * x.values + self.l2 * self.weights[x.indices]
+            )
+            self.bias -= lr * gradient
+            self.n_updates += 1
+
+
+class LinearSVMSGD(_LinearModel):
+    """Linear SVM trained by hinge-loss SGD (Pegasos-style constant rate)."""
+
+    def __init__(
+        self,
+        dim: int,
+        learning_rate: float = 0.1,
+        l2: float = 1e-6,
+        epochs: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(dim, seed)
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.epochs = epochs
+
+    def partial_fit(self, batch: list[HashedVector], labels: list[int]) -> None:
+        if len(batch) != len(labels):
+            raise ValueError("batch and labels must have the same length")
+        lr = self.learning_rate
+        for x, y in self._shuffled_epochs(batch, labels, self.epochs):
+            if x.nnz == 0:
+                continue
+            sign = 1.0 if y == 1 else -1.0
+            margin = sign * self.decision_function(x)
+            self.weights[x.indices] *= 1.0 - lr * self.l2
+            if margin < 1.0:
+                self.weights[x.indices] += lr * sign * x.values
+                self.bias += lr * sign
+            self.n_updates += 1
+
+
+class PassiveAggressiveClassifier(_LinearModel):
+    """PA-I classifier: aggressive margin updates bounded by ``C``."""
+
+    def __init__(self, dim: int, C: float = 1.0, epochs: int = 1, seed: int = 0) -> None:
+        super().__init__(dim, seed)
+        self.C = C
+        self.epochs = epochs
+
+    def partial_fit(self, batch: list[HashedVector], labels: list[int]) -> None:
+        if len(batch) != len(labels):
+            raise ValueError("batch and labels must have the same length")
+        for x, y in self._shuffled_epochs(batch, labels, self.epochs):
+            if x.nnz == 0:
+                continue
+            sign = 1.0 if y == 1 else -1.0
+            loss = max(0.0, 1.0 - sign * self.decision_function(x))
+            if loss == 0.0:
+                continue
+            norm_sq = float(np.dot(x.values, x.values)) + 1.0  # +1 for bias
+            tau = min(self.C, loss / norm_sq)
+            self.weights[x.indices] += tau * sign * x.values
+            self.bias += tau * sign
+            self.n_updates += 1

@@ -1,0 +1,74 @@
+"""Classification metrics: confusion matrices and misclassification rate.
+
+Reproduces the evaluation machinery behind the paper's Tables 8–16
+(per-variant confusion matrices, normalised to percentages over all
+classified URLs) and the "MR" column of Table 5 (misclassification rate
+on true-HTML and true-Target URLs — errors on "Neither" URLs are
+excluded because the classifier never predicts that class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ConfusionMatrix:
+    """Counts of (true class, predicted class) pairs."""
+
+    labels: tuple[str, ...] = ("HTML", "Target", "Neither")
+    counts: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def update(self, true_label: str, predicted_label: str) -> None:
+        if true_label not in self.labels or predicted_label not in self.labels:
+            raise ValueError(f"unknown label: {true_label!r}/{predicted_label!r}")
+        key = (true_label, predicted_label)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def count(self, true_label: str, predicted_label: str) -> int:
+        return self.counts.get((true_label, predicted_label), 0)
+
+    def percentage(self, true_label: str, predicted_label: str) -> float:
+        """Cell as a percentage of all classified URLs (Tables 8–16 style)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return 100.0 * self.count(true_label, predicted_label) / total
+
+    def misclassification_rate(self) -> float:
+        """The paper's "MR": % of true-HTML/Target URLs predicted wrongly.
+
+        "Neither" rows are excluded: the classifier by design never
+        predicts "Neither" (Sec. 3.3), so those URLs are always "wrong".
+        """
+        relevant = 0
+        wrong = 0
+        for (true_label, predicted_label), count in self.counts.items():
+            if true_label == "Neither":
+                continue
+            relevant += count
+            if predicted_label != true_label:
+                wrong += count
+        if relevant == 0:
+            return 0.0
+        return 100.0 * wrong / relevant
+
+    def merged(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        if self.labels != other.labels:
+            raise ValueError("label sets differ")
+        merged = ConfusionMatrix(labels=self.labels)
+        for key, count in self.counts.items():
+            merged.counts[key] = merged.counts.get(key, 0) + count
+        for key, count in other.counts.items():
+            merged.counts[key] = merged.counts.get(key, 0) + count
+        return merged
+
+    def as_rows(self) -> list[list[float]]:
+        """Matrix of percentages in label order (row = true class)."""
+        return [
+            [self.percentage(t, p) for p in self.labels] for t in self.labels
+        ]

@@ -1,0 +1,160 @@
+"""Revisit scheduling policies.
+
+A policy sees the inventory of known HTML pages, receives feedback after
+every revisit ("did this page change since the last visit? did it expose
+new targets?"), and each epoch picks which pages to revisit under a
+request budget.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass
+class PageObservation:
+    """Bookkeeping per known page."""
+
+    last_visit: float = 0.0
+    n_visits: int = 0
+    n_changed: int = 0
+    n_new_targets: int = 0
+    first_seen: float = 0.0
+
+
+class RevisitPolicy(ABC):
+    """Base class: inventory + observation bookkeeping."""
+
+    name = "revisit-policy"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self.pages: dict[str, PageObservation] = {}
+
+    def register(self, url: str, now: float = 0.0, group: int | None = None) -> None:
+        """Add a page to the inventory (group: its tag-path action id)."""
+        if url not in self.pages:
+            self.pages[url] = PageObservation(first_seen=now, last_visit=now)
+
+    def observe(
+        self, url: str, changed: bool, new_targets: int, now: float
+    ) -> None:
+        entry = self.pages.setdefault(url, PageObservation(first_seen=now))
+        entry.n_visits += 1
+        entry.last_visit = now
+        if changed:
+            entry.n_changed += 1
+        entry.n_new_targets += new_targets
+
+    @abstractmethod
+    def schedule(self, budget: int, now: float) -> list[str]:
+        """Pick up to ``budget`` pages to revisit at epoch ``now``."""
+
+
+class UniformRevisitPolicy(RevisitPolicy):
+    """Round-robin: always revisit the stalest pages first.
+
+    The incremental-Heritrix baseline behaviour: fair but blind to how
+    often pages actually change.
+    """
+
+    name = "UNIFORM"
+
+    def schedule(self, budget: int, now: float) -> list[str]:
+        stalest = sorted(self.pages, key=lambda u: self.pages[u].last_visit)
+        return stalest[:budget]
+
+
+class ChangeRatePolicy(RevisitPolicy):
+    """Estimated-change-rate scheduling (Cho & Garcia-Molina lineage).
+
+    Ranks pages by (estimated change probability per epoch) × staleness,
+    with a Laplace-smoothed per-page change estimate.
+    """
+
+    name = "CHANGE-RATE"
+
+    def schedule(self, budget: int, now: float) -> list[str]:
+        def priority(url: str) -> float:
+            entry = self.pages[url]
+            rate = (entry.n_changed + 0.5) / (entry.n_visits + 1.0)
+            staleness = now - entry.last_visit
+            return rate * max(staleness, 0.0)
+
+        ranked = sorted(self.pages, key=priority, reverse=True)
+        return ranked[:budget]
+
+
+class ThompsonRevisitPolicy(RevisitPolicy):
+    """Beta-Bernoulli Thompson Sampling over per-visit change probability
+    [Schulam & Muslea 2023]: sample p ~ Beta(1 + changes, 1 + unchanged)
+    per page, weight by staleness, pick the top of the sample."""
+
+    name = "THOMPSON"
+
+    def schedule(self, budget: int, now: float) -> list[str]:
+        def sample(url: str) -> float:
+            entry = self.pages[url]
+            alpha = 1.0 + entry.n_changed
+            beta = 1.0 + entry.n_visits - entry.n_changed
+            p = self._rng.betavariate(alpha, beta)
+            return p * max(now - entry.last_visit, 0.0)
+
+        ranked = sorted(self.pages, key=sample, reverse=True)
+        return ranked[:budget]
+
+
+class TagPathGroupPolicy(RevisitPolicy):
+    """Structure-aware revisits: the paper's future-work idea.
+
+    Pages are grouped by the tag-path action of their inbound link (the
+    SB crawler's learned structure); new-target feedback accumulates
+    *per group*, so a fresh release on one catalog immediately raises
+    the revisit priority of every structurally similar page — even pages
+    never yet observed to change.
+    """
+
+    name = "TAG-PATH"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._group_of: dict[str, int] = {}
+        self._group_yield: dict[int, float] = {}
+        self._group_visits: dict[int, int] = {}
+
+    def register(self, url: str, now: float = 0.0, group: int | None = None) -> None:
+        super().register(url, now)
+        if group is not None:
+            self._group_of[url] = group
+            self._group_yield.setdefault(group, 0.0)
+            self._group_visits.setdefault(group, 0)
+
+    def observe(
+        self, url: str, changed: bool, new_targets: int, now: float
+    ) -> None:
+        super().observe(url, changed, new_targets, now)
+        group = self._group_of.get(url)
+        if group is not None:
+            self._group_visits[group] = self._group_visits.get(group, 0) + 1
+            self._group_yield[group] = (
+                self._group_yield.get(group, 0.0) + new_targets
+            )
+
+    def _group_score(self, group: int | None) -> float:
+        if group is None:
+            return 0.0
+        visits = self._group_visits.get(group, 0)
+        return (self._group_yield.get(group, 0.0) + 0.5) / (visits + 1.0)
+
+    def schedule(self, budget: int, now: float) -> list[str]:
+        def priority(url: str) -> float:
+            entry = self.pages[url]
+            own_rate = (entry.n_new_targets + 0.25) / (entry.n_visits + 1.0)
+            group_rate = self._group_score(self._group_of.get(url))
+            staleness = max(now - entry.last_visit, 0.0)
+            return (own_rate + group_rate) * staleness
+
+        ranked = sorted(self.pages, key=priority, reverse=True)
+        return ranked[:budget]

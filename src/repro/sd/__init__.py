@@ -1,0 +1,19 @@
+"""Statistics-dataset (SD) content: generation and detection.
+
+The paper's Table 7 manually samples 280 retrieved targets and counts
+how many contain at least one statistics table ("SD yield") and the mean
+number of SDs per target.  Offline we substitute: target file *content*
+is generated deterministically per URL (with per-site yield parameters
+mirroring Table 7), and a table detector re-measures the yield from the
+generated content — exercising the full inspect-the-file code path.
+"""
+
+from repro.sd.content import TargetContentGenerator, SD_PROFILES
+from repro.sd.detector import count_statistic_tables, detect_tables
+
+__all__ = [
+    "TargetContentGenerator",
+    "SD_PROFILES",
+    "count_statistic_tables",
+    "detect_tables",
+]

@@ -1,0 +1,187 @@
+"""Deterministic target-file content generation.
+
+Every target URL maps (via a seeded RNG) to a file body in a format
+matching its MIME type: CSV/TSV as delimited numeric tables, JSON as
+record arrays, spreadsheets as multi-sheet CSV-like blocks, PDFs as text
+pages with embedded fixed-width tables, archives as file listings whose
+members are themselves generated documents.
+
+Whether a target contains statistics tables — and how many — follows
+per-site parameters (``SD_PROFILES``) mirroring the paper's Table 7:
+e.g. on *be* 82 % of sampled targets contained at least one SD, 9.1 on
+average; on *wh* only 40 % with 1.4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.utils.rng import derive_rng
+
+#: Table 7 of the paper: SD yield (%) and mean #SDs per SD-bearing target.
+#: Sites absent from Table 7 get the DEFAULT profile.
+SD_PROFILES: dict[str, tuple[float, float]] = {
+    "be": (82.0, 9.1),
+    "ed": (35.0, 2.8),
+    "is": (93.0, 2.9),
+    "in": (40.0, 2.1),
+    "nc": (83.0, 2.1),
+    "oe": (60.0, 4.9),
+    "wh": (40.0, 1.4),
+}
+
+DEFAULT_SD_PROFILE: tuple[float, float] = (60.0, 2.5)
+
+_DIMENSIONS = (
+    "year", "region", "age_group", "sector", "category", "country",
+    "quarter", "gender", "education_level", "industry",
+)
+_MEASURES = (
+    "population", "employment", "expenditure", "births", "deaths",
+    "enrolment", "production", "exports", "imports", "cases",
+)
+
+
+@dataclass
+class GeneratedTarget:
+    """Content of one target file plus its ground-truth SD count."""
+
+    url: str
+    mime_type: str
+    body: str
+    n_tables: int
+
+
+class TargetContentGenerator:
+    """Generates file bodies for target URLs, deterministic per URL."""
+
+    def __init__(self, site_name: str, seed: int = 0) -> None:
+        self.site_name = site_name
+        self.seed = seed
+        yield_pct, mean_sds = SD_PROFILES.get(site_name, DEFAULT_SD_PROFILE)
+        self.sd_yield = yield_pct / 100.0
+        self.mean_sds = mean_sds
+
+    # -- table construction --------------------------------------------------
+
+    @staticmethod
+    def _numeric_table(rng: random.Random, delimiter: str = ",") -> str:
+        """One statistics table: a header and mostly-numeric rows."""
+        n_cols = rng.randint(3, 6)
+        n_rows = rng.randint(4, 15)
+        dimension = rng.choice(_DIMENSIONS)
+        measures = rng.sample(_MEASURES, n_cols - 1)
+        lines = [delimiter.join([dimension] + measures)]
+        base_year = rng.randint(1990, 2020)
+        for row in range(n_rows):
+            cells = [str(base_year + row)]
+            cells += [f"{rng.uniform(10, 99999):.1f}" for _ in measures]
+            lines.append(delimiter.join(cells))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _prose(rng: random.Random, n_sentences: int = 4) -> str:
+        fragments = (
+            "This report presents the findings of the annual survey.",
+            "Methodological notes are provided in the appendix.",
+            "Data were collected by the national statistical office.",
+            "Revisions to previous releases are documented below.",
+            "Coverage includes all administrative regions.",
+            "Users should cite the source when reproducing figures.",
+        )
+        return " ".join(rng.choice(fragments) for _ in range(n_sentences))
+
+    def _sample_n_tables(self, rng: random.Random) -> int:
+        """0 with probability (1 - yield); otherwise ≥ 1 with the profile mean."""
+        if rng.random() >= self.sd_yield:
+            return 0
+        # Geometric-like count with mean ``mean_sds`` conditioned on ≥ 1.
+        mean = max(self.mean_sds, 1.0)
+        p = 1.0 / mean
+        count = 1
+        while rng.random() > p and count < 60:
+            count += 1
+        return count
+
+    # -- per-format rendering ---------------------------------------------
+
+    def generate(self, url: str, mime_type: str) -> GeneratedTarget:
+        rng = derive_rng(self.seed, "target-content", self.site_name, url)
+        n_tables = self._sample_n_tables(rng)
+        mime = mime_type.split(";")[0].strip().lower()
+        if "csv" in mime or "comma-separated" in mime:
+            body = self._render_csv(rng, n_tables, ",")
+        elif "spreadsheet" in mime or "ms-excel" in mime or "opendocument" in mime:
+            body = self._render_spreadsheet(rng, n_tables)
+        elif "json" in mime:
+            body = self._render_json(rng, n_tables)
+        elif "pdf" in mime or "msword" in mime:
+            body = self._render_document(rng, n_tables)
+        elif "zip" in mime or "tar" in mime or "gzip" in mime or "rar" in mime:
+            body = self._render_archive(rng, n_tables)
+        else:
+            body = self._render_document(rng, n_tables)
+        return GeneratedTarget(url=url, mime_type=mime, body=body, n_tables=n_tables)
+
+    def _render_csv(self, rng: random.Random, n_tables: int, delimiter: str) -> str:
+        if n_tables == 0:
+            # A CSV that is not a statistics table: a contact/address list.
+            rows = ["name,email,office"]
+            for i in range(rng.randint(3, 10)):
+                rows.append(f"person{i},person{i}@example.org,room {i}")
+            return "\n".join(rows)
+        blocks = [self._numeric_table(rng, delimiter) for _ in range(n_tables)]
+        return "\n\n".join(blocks)
+
+    def _render_spreadsheet(self, rng: random.Random, n_tables: int) -> str:
+        sheets = []
+        for index in range(max(n_tables, 1)):
+            header = f"### sheet:{index + 1}"
+            if index < n_tables:
+                sheets.append(header + "\n" + self._numeric_table(rng))
+            else:
+                sheets.append(header + "\n" + self._prose(rng))
+        return "\n\n".join(sheets)
+
+    def _render_json(self, rng: random.Random, n_tables: int) -> str:
+        import json
+
+        if n_tables == 0:
+            return json.dumps({"title": "metadata", "notes": self._prose(rng, 2)})
+        datasets = []
+        for _ in range(n_tables):
+            n_rows = rng.randint(4, 12)
+            dimension = rng.choice(_DIMENSIONS)
+            measure = rng.choice(_MEASURES)
+            records = [
+                {dimension: 1990 + i, measure: round(rng.uniform(1, 9999), 1)}
+                for i in range(n_rows)
+            ]
+            datasets.append({"dimension": dimension, "records": records})
+        return json.dumps({"datasets": datasets})
+
+    def _render_document(self, rng: random.Random, n_tables: int) -> str:
+        """PDF-like document: prose pages with embedded aligned tables."""
+        parts = [self._prose(rng)]
+        for _ in range(n_tables):
+            parts.append("[TABLE]\n" + self._numeric_table(rng, delimiter="  "))
+            parts.append(self._prose(rng, 2))
+        return "\n\n".join(parts)
+
+    def _render_archive(self, rng: random.Random, n_tables: int) -> str:
+        """Archive as a member listing with inlined member contents."""
+        members = []
+        remaining = n_tables
+        n_members = max(1, min(5, n_tables + rng.randint(0, 2)))
+        for index in range(n_members):
+            take = min(remaining, rng.randint(0, 3)) if remaining else 0
+            remaining -= take
+            body = self._render_csv(rng, take, ",")
+            members.append(f"--- member:{index}.csv ---\n{body}")
+        if remaining > 0:
+            members.append(
+                f"--- member:extra.csv ---\n"
+                + self._render_csv(rng, remaining, ",")
+            )
+        return "\n\n".join(members)

@@ -1,0 +1,128 @@
+"""Statistics-table detection in heterogeneous target files.
+
+A lightweight stand-in for the table-extraction systems the paper cites
+(≈1 s/page PDF extractors): detects rectangular, mostly-numeric tables
+in delimited text, fixed-width document blocks, JSON record arrays,
+spreadsheet sheets and archive members.  A block counts as a statistics
+table when it has at least 3 data rows and 2 columns with a majority of
+numeric body cells — the same operational definition the generator uses,
+so generator → detector consistency is testable.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+_NUMBER_RE = re.compile(r"^-?\d+(\.\d+)?$")
+_MIN_ROWS = 3
+_MIN_COLS = 2
+
+
+def _is_numeric(cell: str) -> bool:
+    return bool(_NUMBER_RE.match(cell.strip()))
+
+
+def _looks_like_table(rows: list[list[str]]) -> bool:
+    """Rectangular, ≥3 data rows × ≥2 columns, majority numeric cells."""
+    if len(rows) < _MIN_ROWS + 1:  # header + data rows
+        return False
+    width = len(rows[0])
+    if width < _MIN_COLS:
+        return False
+    if any(len(row) != width for row in rows):
+        return False
+    body = rows[1:]
+    cells = [cell for row in body for cell in row]
+    if not cells:
+        return False
+    numeric = sum(1 for cell in cells if _is_numeric(cell))
+    return numeric / len(cells) > 0.5
+
+
+def _split_blocks(text: str) -> list[str]:
+    return [block for block in re.split(r"\n\s*\n", text) if block.strip()]
+
+
+def _detect_delimited(block: str, delimiter: str) -> bool:
+    rows = [line.split(delimiter) for line in block.strip().splitlines()]
+    return _looks_like_table(rows)
+
+
+def _detect_fixed_width(block: str) -> bool:
+    rows = [re.split(r"\s{2,}", line.strip()) for line in block.strip().splitlines()]
+    return _looks_like_table(rows)
+
+
+def _count_in_json(text: str) -> int:
+    try:
+        data = json.loads(text)
+    except (ValueError, TypeError):
+        return 0
+    count = 0
+
+    def walk(node: object) -> None:
+        nonlocal count
+        if isinstance(node, list):
+            if _json_records_are_table(node):
+                count += 1
+            else:
+                for item in node:
+                    walk(item)
+        elif isinstance(node, dict):
+            for value in node.values():
+                walk(value)
+
+    walk(data)
+    return count
+
+
+def _json_records_are_table(records: list) -> bool:
+    if len(records) < _MIN_ROWS:
+        return False
+    if not all(isinstance(r, dict) for r in records):
+        return False
+    keys = set(records[0].keys()) if records else set()
+    if len(keys) < _MIN_COLS:
+        return False
+    if any(set(r.keys()) != keys for r in records):
+        return False
+    numeric = sum(
+        1
+        for record in records
+        for value in record.values()
+        if isinstance(value, (int, float))
+    )
+    total = len(records) * len(keys)
+    return total > 0 and numeric / total > 0.5
+
+
+def detect_tables(body: str, mime_type: str) -> list[str]:
+    """Return the blocks of ``body`` recognised as statistics tables."""
+    mime = mime_type.split(";")[0].strip().lower()
+    if "json" in mime:
+        return ["<json-table>"] * _count_in_json(body)
+    tables: list[str] = []
+    for block in _split_blocks(body):
+        cleaned = block
+        # Strip generator/member/sheet headers before structure detection.
+        lines = [
+            line
+            for line in cleaned.splitlines()
+            if not line.startswith(("###", "---", "[TABLE]"))
+        ]
+        cleaned = "\n".join(lines)
+        if not cleaned.strip():
+            continue
+        if "\t" in cleaned and _detect_delimited(cleaned, "\t"):
+            tables.append(block)
+        elif "," in cleaned and _detect_delimited(cleaned, ","):
+            tables.append(block)
+        elif _detect_fixed_width(cleaned):
+            tables.append(block)
+    return tables
+
+
+def count_statistic_tables(body: str, mime_type: str) -> int:
+    """Number of statistics tables detected in a target file."""
+    return len(detect_tables(body, mime_type))

@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic RNG helpers and distribution sampling."""
+
+from repro.utils.rng import derive_rng, derive_seed
+from repro.utils.sampling import (
+    bounded_lognormal,
+    clipped_normal_int,
+    weighted_choice,
+    zipf_weights,
+)
+
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "bounded_lognormal",
+    "clipped_normal_int",
+    "weighted_choice",
+    "zipf_weights",
+]

@@ -1,0 +1,74 @@
+"""Distribution sampling helpers used by the website generator.
+
+The paper's site statistics (Table 1) report means and standard
+deviations for target sizes (heavy-tailed, well modelled by a lognormal)
+and target depths (roughly normal, clipped at 1).  These helpers sample
+from such distributions with an explicit ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> list[float]:
+    """Return ``n`` normalised Zipf weights ``1/rank^exponent``.
+
+    Used to give website sections heavy-tailed popularity: a few hub
+    sections receive most links, matching real site link distributions.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    raw = [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
+    """Pick one item according to ``weights`` (need not be normalised)."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    return rng.choices(list(items), weights=list(weights), k=1)[0]
+
+
+def bounded_lognormal(
+    rng: random.Random,
+    mean: float,
+    std: float,
+    low: float = 1.0,
+    high: float | None = None,
+) -> float:
+    """Sample a lognormal with the given *arithmetic* mean and std.
+
+    Solves for the underlying normal parameters (mu, sigma) from the
+    desired arithmetic moments, then clips to ``[low, high]``.  Target
+    file sizes in Table 1 have std far above the mean — a classic
+    lognormal signature.
+    """
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    variance_ratio = (std / mean) ** 2 if std > 0 else 0.0
+    sigma2 = math.log(1.0 + variance_ratio)
+    mu = math.log(mean) - sigma2 / 2.0
+    value = rng.lognormvariate(mu, math.sqrt(sigma2))
+    if high is not None:
+        value = min(value, high)
+    return max(value, low)
+
+
+def clipped_normal_int(
+    rng: random.Random,
+    mean: float,
+    std: float,
+    low: int = 1,
+    high: int | None = None,
+) -> int:
+    """Sample an integer from a normal clipped to ``[low, high]``."""
+    value = int(round(rng.gauss(mean, std)))
+    if high is not None:
+        value = min(value, high)
+    return max(value, low)

@@ -1,0 +1,44 @@
+"""Synthetic website substrate.
+
+The paper evaluates on 18 live websites totalling 22.2 M pages.  Offline,
+we substitute a deterministic synthetic-website generator whose 18 site
+profiles mirror the Table 1 statistics (target density, fraction of HTML
+pages linking to targets, target depth and size distributions, URL style,
+multilinguality) at a reduced scale.  All crawler-visible signals —
+hyperlink structure, DOM tag paths, URLs, MIME types, response sizes and
+HTTP statuses — are produced for real, so every code path of the crawler
+is exercised exactly as it would be on the live web.
+"""
+
+from repro.webgraph.mime import (
+    BLOCKLISTED_EXTENSIONS,
+    BLOCKLISTED_MIME_PREFIXES,
+    HTML_MIME,
+    TARGET_MIME_TYPES,
+    is_blocklisted_extension,
+    is_blocklisted_mime,
+    is_target_mime,
+)
+from repro.webgraph.model import Link, Page, PageKind, SiteStatistics, WebsiteGraph
+from repro.webgraph.generator import SiteProfile, generate_site
+from repro.webgraph.sites import PAPER_SITES, load_paper_site, paper_site_profiles
+
+__all__ = [
+    "BLOCKLISTED_EXTENSIONS",
+    "BLOCKLISTED_MIME_PREFIXES",
+    "HTML_MIME",
+    "TARGET_MIME_TYPES",
+    "is_blocklisted_extension",
+    "is_blocklisted_mime",
+    "is_target_mime",
+    "Link",
+    "Page",
+    "PageKind",
+    "SiteStatistics",
+    "WebsiteGraph",
+    "SiteProfile",
+    "generate_site",
+    "PAPER_SITES",
+    "load_paper_site",
+    "paper_site_profiles",
+]

@@ -1,0 +1,34 @@
+"""URL resolution and canonicalisation.
+
+Real HTML rarely carries absolute URLs: hrefs are path-absolute
+(``/data/file.csv``), relative (``../report``), or decorated with
+fragments (``page#section``).  A crawler must resolve every href against
+the page URL and canonicalise the result before frontier bookkeeping —
+otherwise the same page appears under many URLs and "visit each page
+once" breaks.
+
+Canonical form: resolved absolute URL, scheme/host lowercased, default
+ports dropped, fragment removed, empty path normalised to ``/``.
+"""
+
+from __future__ import annotations
+
+from urllib.parse import urljoin, urlsplit, urlunsplit
+
+_DEFAULT_PORTS = {"http": "80", "https": "443"}
+
+
+def canonicalize_url(url: str) -> str:
+    """Canonicalise an absolute URL (see module docstring)."""
+    parts = urlsplit(url)
+    scheme = parts.scheme.lower()
+    host = (parts.hostname or "").lower()
+    if parts.port is not None and str(parts.port) != _DEFAULT_PORTS.get(scheme):
+        host = f"{host}:{parts.port}"
+    path = parts.path or "/"
+    return urlunsplit((scheme, host, path, parts.query, ""))
+
+
+def resolve_link(base_url: str, href: str) -> str:
+    """Resolve one href against its page URL and canonicalise it."""
+    return canonicalize_url(urljoin(base_url, href))

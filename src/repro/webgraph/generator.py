@@ -1,0 +1,798 @@
+"""Deterministic synthetic-website generator.
+
+Produces a :class:`~repro.webgraph.model.WebsiteGraph` matching a
+:class:`SiteProfile` — the Table 1 statistics of one of the paper's
+websites (page count, target density, fraction of HTML pages linking to
+targets, target depth/size distributions) plus structural knobs (URL
+style, languages, CSS palette, unique-id noise, error/redirect rates).
+
+Construction mirrors how real institutional CMS sites are organised:
+
+* the root links to *section hubs* (depth 1);
+* hubs list child pages through ``CONTENT_LIST`` slots; in *data
+  sections* many children are *catalog* pages whose ``DOWNLOAD`` slots
+  link the actual targets;
+* deep sites chain catalogs with ``PAGINATION`` slots (multi-step
+  navigation, like the paper's *ju* and *in* sites whose mean target
+  depths are 87 and 67);
+* navigation menus, footers, sidebars and inline article links create
+  the non-tree edges that make BFS/DFS/RANDOM meaningful baselines;
+* a controlled amount of error URLs (4xx/5xx), redirects (3xx),
+  multimedia and off-site links exercises every branch of Algorithm 4.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.utils.rng import derive_rng
+from repro.utils.sampling import (
+    bounded_lognormal,
+    clipped_normal_int,
+    weighted_choice,
+    zipf_weights,
+)
+from repro.webgraph.mime import GENERATOR_TARGET_MIMES
+from repro.webgraph.model import Link, Page, PageKind, WebsiteGraph
+from repro.webgraph.templates import SlotKind, TagPathBuilder
+from repro.webgraph.urls import UrlFactory, section_slugs
+
+_ERROR_STATUSES = (404, 404, 404, 410, 403, 500, 503)
+
+_TARGET_ANCHOR_TEMPLATES = (
+    "Download {fmt}",
+    "{fmt} file",
+    "Dataset ({fmt})",
+    "Annual data [{fmt}]",
+    "Full table, {fmt}",
+    "Raw data {fmt}",
+    "Export {fmt}",
+)
+
+_FORMAT_WORDS = {
+    "application/pdf": "PDF",
+    "text/csv": "CSV",
+    "application/vnd.ms-excel": "XLS",
+    "application/vnd.openxmlformats-officedocument.spreadsheetml.sheet": "XLSX",
+    "application/vnd.oasis.opendocument.spreadsheet": "ODS",
+    "application/zip": "ZIP",
+    "application/json": "JSON",
+    "application/xml": "XML",
+    "text/comma-separated-values": "TSV",
+    "application/msword": "DOC",
+    "application/x-gzip": "GZ",
+}
+
+_HTML_ANCHOR_WORDS = (
+    "Read more", "Details", "Overview", "More information", "See also",
+    "Next", "Archive", "Publications", "News item", "Article",
+)
+
+
+@dataclass
+class SiteProfile:
+    """All parameters needed to generate one synthetic website."""
+
+    name: str
+    base_url: str
+    n_pages: int
+    target_fraction: float
+    html_to_target_pct: float
+    target_depth_mean: float
+    target_depth_std: float
+    target_size_mean: float = 1.0e6  # bytes
+    target_size_std: float = 4.0e6
+    url_style: str = "path"
+    languages: tuple[str, ...] = ("en",)
+    palette_index: int = 0
+    unique_id_noise: float = 0.0
+    error_fraction: float = 0.08
+    redirect_fraction: float = 0.02
+    media_fraction: float = 0.03
+    n_sections: int = 8
+    data_section_fraction: float = 0.4
+    #: probability that a link *into* a catalog page uses the dedicated
+    #: dataset-listing widget (the structure-to-content signal SB learns)
+    catalog_link_distinctiveness: float = 0.85
+    #: length of a robots-disallowed spider-trap chain (0 = no trap);
+    #: impolite crawlers waste budget there, polite ones skip it
+    trap_pages: int = 0
+    #: serve a robots.txt (Disallow /internal/, Crawl-delay, Sitemap)
+    with_robots: bool = True
+    #: fraction of HTML pages listed in sitemap.xml (plus all hubs)
+    sitemap_fraction: float = 0.15
+    #: number of deep-web search portals (0 = none); each portal hides
+    #: targets behind a GET form that link-following crawlers never see
+    deep_web_portals: int = 0
+    html_size_mean: int = 24_000
+    html_size_std: int = 9_000
+    fully_crawled: bool = True
+    seed: int = 0
+
+    def scaled(self, factor: float) -> "SiteProfile":
+        """Return a copy with the page count scaled by ``factor``.
+
+        Depth statistics are damped with the square root of the factor so
+        miniature sites stay crawlable while keeping their relative
+        depth ordering.
+        """
+        import dataclasses
+
+        damp = max(factor, 0.02) ** 0.5
+        return dataclasses.replace(
+            self,
+            n_pages=max(40, int(self.n_pages * factor)),
+            target_depth_mean=max(2.0, self.target_depth_mean * damp),
+            target_depth_std=max(0.5, self.target_depth_std * damp),
+        )
+
+
+@dataclass
+class _Section:
+    name: str
+    slug: str
+    language: str
+    is_data: bool
+    hub_url: str = ""
+
+
+@dataclass
+class _PlannedPage:
+    url: str
+    depth: int
+    section: _Section
+    is_catalog: bool
+    uid: int
+    noisy: bool
+    links: list[Link] = field(default_factory=list)
+    targets_linked: int = 0
+
+
+def generate_site(profile: SiteProfile) -> WebsiteGraph:
+    """Generate the full website graph for ``profile`` (deterministic)."""
+    builder = _SiteBuilder(profile)
+    return builder.build()
+
+
+class _SiteBuilder:
+    """Stateful helper carrying everything needed during generation."""
+
+    def __init__(self, profile: SiteProfile) -> None:
+        self.profile = profile
+        self.rng = derive_rng(profile.seed, "site", profile.name)
+        self.urlf = UrlFactory(
+            profile.base_url,
+            style=profile.url_style,
+            languages=profile.languages,
+            seed=profile.seed,
+        )
+        self.paths = TagPathBuilder(
+            palette_index=profile.palette_index,
+            unique_id_noise=profile.unique_id_noise,
+        )
+        self.graph = WebsiteGraph(self.urlf.root(), name=profile.name)
+        self._uid = 0
+        #: planned depth of the catalog hosting each target (shortcut guard)
+        self._target_host_depth: dict[str, int] = {}
+
+    # -- small helpers --------------------------------------------------
+
+    def _next_uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    def _target_anchor(self, mime: str) -> str:
+        fmt = _FORMAT_WORDS.get(mime, "FILE")
+        template = self.rng.choice(_TARGET_ANCHOR_TEMPLATES)
+        return template.format(fmt=fmt)
+
+    def _html_anchor(self) -> str:
+        return self.rng.choice(_HTML_ANCHOR_WORDS)
+
+    # -- main -------------------------------------------------------------
+
+    def build(self) -> WebsiteGraph:
+        profile = self.profile
+        n_available = profile.n_pages
+        n_targets = max(1, round(n_available * profile.target_fraction))
+        n_html = max(profile.n_sections + 2, n_available - n_targets)
+        n_catalog = max(1, round(n_html * profile.html_to_target_pct / 100.0))
+        n_catalog = min(n_catalog, n_html - profile.n_sections - 1)
+
+        sections = self._make_sections()
+        target_depths = self._sample_target_depths(n_targets, n_html)
+        catalog_plan = self._plan_catalog_depths(target_depths, n_catalog)
+        pages = self._plan_pages(sections, catalog_plan, n_html)
+        self._connect_tree(pages)
+        catalogs = [p for p in pages if p.is_catalog]
+        targets = self._attach_targets(catalogs, target_depths)
+        self._add_navigation(pages, sections)
+        self._add_cross_links(pages)
+        self._add_duplicate_target_links(catalogs, targets)
+        self._add_errors(pages, catalogs, n_available)
+        self._add_redirects(pages)
+        self._add_media(pages)
+        self._add_offsite(pages)
+        self._materialise(pages)
+        self._add_traps(pages)
+        self._add_deep_portals(sections)
+        self._add_robots_and_sitemap(pages, sections)
+        return self.graph
+
+    # -- construction stages ----------------------------------------------
+
+    def _make_sections(self) -> list[_Section]:
+        profile = self.profile
+        sections: list[_Section] = []
+        per_lang: dict[str, list[str]] = {}
+        n_data = max(1, math.ceil(profile.n_sections * profile.data_section_fraction))
+        for i in range(profile.n_sections):
+            language = profile.languages[i % len(profile.languages)]
+            if language not in per_lang:
+                per_lang[language] = section_slugs(
+                    language, profile.n_sections, derive_rng(profile.seed, "slugs", language)
+                )
+            slug = per_lang[language][i // len(profile.languages) % profile.n_sections]
+            sections.append(
+                _Section(
+                    name=f"{language}-{slug}",
+                    slug=slug,
+                    language=language,
+                    is_data=(i < n_data),
+                )
+            )
+        return sections
+
+    def _sample_target_depths(self, n_targets: int, n_html: int) -> list[int]:
+        profile = self.profile
+        cap = max(3, min(
+            int(profile.target_depth_mean + 3 * profile.target_depth_std),
+            n_html // 2,
+        ))
+        depths = [
+            clipped_normal_int(
+                self.rng, profile.target_depth_mean, profile.target_depth_std,
+                low=2, high=cap,
+            )
+            for _ in range(n_targets)
+        ]
+        return depths
+
+    def _plan_catalog_depths(
+        self, target_depths: list[int], n_catalog: int
+    ) -> dict[int, int]:
+        """Number of catalog pages per depth (catalog depth = target depth - 1)."""
+        histogram: dict[int, int] = {}
+        for depth in target_depths:
+            histogram[depth - 1] = histogram.get(depth - 1, 0) + 1
+        n_targets = len(target_depths)
+        plan: dict[int, int] = {}
+        for depth, count in sorted(histogram.items()):
+            plan[depth] = max(1, round(n_catalog * count / n_targets))
+        # Trim or grow to hit exactly n_catalog.
+        total = sum(plan.values())
+        depths_sorted = sorted(plan, key=lambda d: -plan[d])
+        index = 0
+        while total > n_catalog and depths_sorted:
+            depth = depths_sorted[index % len(depths_sorted)]
+            if plan[depth] > 1:
+                plan[depth] -= 1
+                total -= 1
+            index += 1
+            if index > 10 * len(depths_sorted) + 10:
+                break
+        index = 0
+        while total < n_catalog and depths_sorted:
+            depth = depths_sorted[index % len(depths_sorted)]
+            plan[depth] += 1
+            total += 1
+            index += 1
+        return plan
+
+    def _plan_pages(
+        self,
+        sections: list[_Section],
+        catalog_plan: dict[int, int],
+        n_html: int,
+    ) -> list[_PlannedPage]:
+        """Lay out HTML pages by depth: root, hubs, spine, catalogs, plain."""
+        profile = self.profile
+        rng = self.rng
+        data_sections = [s for s in sections if s.is_data]
+        data_weights = zipf_weights(len(data_sections))
+        max_depth = max(catalog_plan) if catalog_plan else 2
+
+        pages: list[_PlannedPage] = []
+
+        def plan_page(depth: int, section: _Section, is_catalog: bool) -> _PlannedPage:
+            if depth == 0:
+                url = self.graph.root_url
+            elif depth == 1 and not is_catalog:
+                url = self.urlf.section_url(section.language, section.slug)
+            else:
+                url = self.urlf.html_url(section.language, section.slug)
+            page = _PlannedPage(
+                url=url,
+                depth=depth,
+                section=section,
+                is_catalog=is_catalog,
+                uid=self._next_uid(),
+                noisy=self.paths.page_is_noisy(rng),
+            )
+            pages.append(page)
+            return page
+
+        # Root (depth 0) belongs to the first section for template purposes.
+        plan_page(0, sections[0], is_catalog=False)
+        # Section hubs at depth 1.
+        for section in sections:
+            hub = plan_page(1, section, is_catalog=False)
+            section.hub_url = hub.url
+
+        budget = n_html - 1 - len(sections)  # pages still to plan
+        # Catalog pages at their planned depths (data sections, heavy-tailed).
+        for depth in sorted(catalog_plan):
+            for _ in range(catalog_plan[depth]):
+                if budget <= 0:
+                    break
+                section = weighted_choice(rng, data_sections, data_weights)
+                plan_page(max(1, depth), section, is_catalog=True)
+                budget -= 1
+
+        # Spine: guarantee at least one HTML page at every depth 1..max_depth.
+        occupied = {p.depth for p in pages}
+        for depth in range(2, max_depth + 1):
+            if depth not in occupied and budget > 0:
+                section = weighted_choice(rng, data_sections, data_weights)
+                plan_page(depth, section, is_catalog=False)
+                budget -= 1
+
+        # Remaining plain pages: mostly shallow, exponential decay over depth.
+        if budget > 0:
+            depth_cap = min(max_depth, 10) if max_depth > 10 else max(2, max_depth)
+            candidate_depths = list(range(2, depth_cap + 1)) or [2]
+            weights = [math.exp(-d / 4.0) for d in candidate_depths]
+            all_weights = sum(weights)
+            weights = [w / all_weights for w in weights]
+            for _ in range(budget):
+                depth = weighted_choice(rng, candidate_depths, weights)
+                section = rng.choice(sections)
+                plan_page(depth, section, is_catalog=False)
+        return pages
+
+    def _connect_tree(self, pages: list[_PlannedPage]) -> None:
+        """Give every page (except the root) a parent edge."""
+        rng = self.rng
+        by_depth: dict[int, list[_PlannedPage]] = {}
+        for page in pages:
+            by_depth.setdefault(page.depth, []).append(page)
+
+        for depth in sorted(by_depth):
+            if depth == 0:
+                continue
+            parents_all = by_depth.get(depth - 1, [])
+            if not parents_all:
+                parents_all = by_depth[0]
+            parent_weights_cache: dict[int, list[float]] = {}
+            for page in by_depth[depth]:
+                pool = parents_all
+                if page.is_catalog:
+                    # Data-portal pagination: a catalog page chains onto a
+                    # catalog one level up when one exists (the multi-step
+                    # navigation of the paper's ju/in/wh sites).
+                    catalog_parents = [p for p in parents_all if p.is_catalog]
+                    if catalog_parents and rng.random() < 0.9:
+                        pool = catalog_parents
+                if pool is parents_all:
+                    same_section = [
+                        p for p in parents_all if p.section.name == page.section.name
+                    ]
+                    pool = same_section if same_section else parents_all
+                key = id(pool[0]) if pool else 0
+                if key not in parent_weights_cache or len(
+                    parent_weights_cache[key]
+                ) != len(pool):
+                    parent_weights_cache[key] = zipf_weights(len(pool), 0.8)
+                parent = weighted_choice(rng, pool, parent_weights_cache[key])
+                slot = self._tree_slot(parent, page)
+                tag_path = self.paths.path(
+                    slot, parent.section.slug, parent.uid, parent.noisy
+                )
+                parent.links.append(
+                    Link(url=page.url, tag_path=tag_path, anchor=self._html_anchor())
+                )
+
+    def _tree_slot(self, parent: _PlannedPage, child: _PlannedPage) -> SlotKind:
+        if parent.is_catalog and child.is_catalog:
+            return SlotKind.PAGINATION
+        if child.is_catalog:
+            # Catalog pages are usually listed by a dedicated dataset
+            # widget (learnable signal); sometimes by a generic list.
+            if self.rng.random() < self.profile.catalog_link_distinctiveness:
+                return SlotKind.DATASET_LIST
+            return SlotKind.CONTENT_LIST
+        if parent.section.is_data:
+            return SlotKind.CONTENT_LIST
+        return SlotKind.CONTENT_LIST if self.rng.random() < 0.7 else SlotKind.ARTICLE
+
+    def _attach_targets(
+        self, catalogs: list[_PlannedPage], target_depths: list[int]
+    ) -> list[Page]:
+        """Create target pages and link each from a catalog at depth-1."""
+        rng = self.rng
+        profile = self.profile
+        catalogs_by_depth: dict[int, list[_PlannedPage]] = {}
+        for catalog in catalogs:
+            catalogs_by_depth.setdefault(catalog.depth, []).append(catalog)
+        all_depths = sorted(catalogs_by_depth)
+        weights_by_depth = {
+            d: zipf_weights(len(catalogs_by_depth[d]), 1.1) for d in all_depths
+        }
+        mimes = [m for m, _ in GENERATOR_TARGET_MIMES]
+        mime_weights = [w for _, w in GENERATOR_TARGET_MIMES]
+
+        targets: list[Page] = []
+        for depth in target_depths:
+            wanted = depth - 1
+            # Closest depth with a catalog (plan may have been trimmed).
+            host_depth = min(all_depths, key=lambda d: abs(d - wanted))
+            catalog = weighted_choice(
+                rng, catalogs_by_depth[host_depth], weights_by_depth[host_depth]
+            )
+            mime = weighted_choice(rng, mimes, mime_weights)
+            url = self.urlf.target_url(catalog.section.language, catalog.section.slug, mime)
+            size = int(
+                bounded_lognormal(
+                    rng,
+                    profile.target_size_mean,
+                    profile.target_size_std,
+                    low=2_000,
+                    high=80 * profile.target_size_mean,
+                )
+            )
+            page = Page(
+                url=url,
+                kind=PageKind.TARGET,
+                mime_type=mime,
+                status=200,
+                size=size,
+                section=catalog.section.name,
+            )
+            targets.append(page)
+            self.graph.add_page(page)
+            self._target_host_depth[url] = catalog.depth
+            tag_path = self.paths.path(
+                SlotKind.DOWNLOAD, catalog.section.slug, catalog.uid, catalog.noisy
+            )
+            catalog.links.append(
+                Link(url=url, tag_path=tag_path, anchor=self._target_anchor(mime))
+            )
+            catalog.targets_linked += 1
+        return targets
+
+    def _add_navigation(
+        self, pages: list[_PlannedPage], sections: list[_Section]
+    ) -> None:
+        """NAV menu (root + section hubs) and footer links on every page."""
+        rng = self.rng
+        root_url = self.graph.root_url
+        footer_targets = [s.hub_url for s in sections[: min(3, len(sections))]]
+        for page in pages:
+            language = page.section.language
+            hub_urls = [
+                s.hub_url for s in sections if s.language == language and s.hub_url
+            ][:6]
+            nav_path = self.paths.path(SlotKind.NAV, "", page.uid, page.noisy)
+            for url in [root_url] + hub_urls:
+                if url != page.url:
+                    page.links.append(Link(url=url, tag_path=nav_path, anchor="Menu"))
+            footer_path = self.paths.path(SlotKind.FOOTER, "", page.uid, page.noisy)
+            for url in footer_targets:
+                if url and url != page.url and rng.random() < 0.8:
+                    page.links.append(
+                        Link(url=url, tag_path=footer_path, anchor="About")
+                    )
+
+    def _add_cross_links(self, pages: list[_PlannedPage]) -> None:
+        """Sidebar/article links to random same-section pages (non-tree edges)."""
+        rng = self.rng
+        by_section: dict[str, list[_PlannedPage]] = {}
+        for page in pages:
+            by_section.setdefault(page.section.name, []).append(page)
+        for page in pages:
+            pool = by_section[page.section.name]
+            if len(pool) < 2:
+                continue
+            n_links = min(len(pool) - 1, rng.randint(1, 4))
+            sidebar_path = self.paths.path(
+                SlotKind.SIDEBAR, page.section.slug, page.uid, page.noisy
+            )
+            article_path = self.paths.path(
+                SlotKind.ARTICLE, page.section.slug, page.uid, page.noisy
+            )
+            seen = {page.url} | {link.url for link in page.links}
+            for _ in range(n_links):
+                other = rng.choice(pool)
+                if other.url in seen:
+                    continue
+                if other.depth > page.depth + 1:
+                    # Never create a shortcut below the planned depth: deep
+                    # portal pages (ju, in) must stay deep (Table 1).
+                    continue
+                seen.add(other.url)
+                path = sidebar_path if rng.random() < 0.6 else article_path
+                page.links.append(
+                    Link(url=other.url, tag_path=path, anchor=self._html_anchor())
+                )
+
+    def _add_duplicate_target_links(
+        self, catalogs: list[_PlannedPage], targets: list[Page]
+    ) -> None:
+        """Re-link ~10% of targets from a second catalog.
+
+        The paper's novelty reward (count only *new* target links) matters
+        precisely because targets can be linked from several pages.
+        """
+        rng = self.rng
+        if len(catalogs) < 2 or not targets:
+            return
+        n_duplicates = max(1, len(targets) // 10)
+        for target in rng.sample(targets, min(n_duplicates, len(targets))):
+            target_depth = self._target_host_depth.get(target.url, 1) + 1
+            eligible = [c for c in catalogs if c.depth >= target_depth - 1]
+            if not eligible:
+                continue
+            catalog = rng.choice(eligible)
+            tag_path = self.paths.path(
+                SlotKind.DOWNLOAD, catalog.section.slug, catalog.uid, catalog.noisy
+            )
+            catalog.links.append(
+                Link(
+                    url=target.url,
+                    tag_path=tag_path,
+                    anchor=self._target_anchor(target.mime_type or ""),
+                )
+            )
+
+    def _add_errors(
+        self, pages: list[_PlannedPage], catalogs: list[_PlannedPage], n_available: int
+    ) -> None:
+        """Dead URLs (4xx/5xx) linked from live pages ("Neither" class)."""
+        rng = self.rng
+        n_errors = int(n_available * self.profile.error_fraction)
+        for _ in range(n_errors):
+            host = rng.choice(pages)
+            url = self.urlf.error_url(host.section.language, host.section.slug)
+            status = rng.choice(_ERROR_STATUSES)
+            self.graph.add_page(
+                Page(url=url, kind=PageKind.ERROR, mime_type=None, status=status,
+                     size=512, section=host.section.name)
+            )
+            if host.is_catalog and rng.random() < 0.3:
+                # Stale download link: error URL on a download slot.
+                slot = SlotKind.DOWNLOAD
+            else:
+                slot = SlotKind.ARTICLE
+            tag_path = self.paths.path(slot, host.section.slug, host.uid, host.noisy)
+            host.links.append(
+                Link(url=url, tag_path=tag_path, anchor=self._html_anchor())
+            )
+
+    def _add_redirects(self, pages: list[_PlannedPage]) -> None:
+        """Alias URLs that 301-redirect to canonical pages."""
+        rng = self.rng
+        n_redirects = int(len(pages) * self.profile.redirect_fraction)
+        for _ in range(n_redirects):
+            canonical = rng.choice(pages)
+            alias = self.urlf.html_url(
+                canonical.section.language, canonical.section.slug
+            )
+            self.graph.add_page(
+                Page(
+                    url=alias,
+                    kind=PageKind.REDIRECT,
+                    mime_type=None,
+                    status=301,
+                    size=256,
+                    redirect_to=canonical.url,
+                    section=canonical.section.name,
+                )
+            )
+            hosts = [p for p in pages if p.depth >= canonical.depth - 1]
+            host = rng.choice(hosts) if hosts else canonical
+            tag_path = self.paths.path(
+                SlotKind.ARTICLE, host.section.slug, host.uid, host.noisy
+            )
+            host.links.append(
+                Link(url=alias, tag_path=tag_path, anchor=self._html_anchor())
+            )
+
+    def _add_media(self, pages: list[_PlannedPage]) -> None:
+        """Multimedia resources (blocklisted) linked from article slots."""
+        rng = self.rng
+        n_media = int(len(pages) * self.profile.media_fraction)
+        for _ in range(n_media):
+            host = rng.choice(pages)
+            url = self.urlf.media_url(host.section.slug)
+            mime = "image/png" if url.endswith((".png", ".jpg", ".gif")) else "video/mp4"
+            self.graph.add_page(
+                Page(url=url, kind=PageKind.OTHER, mime_type=mime, status=200,
+                     size=rng.randint(50_000, 5_000_000), section=host.section.name)
+            )
+            tag_path = self.paths.path(
+                SlotKind.MEDIA, host.section.slug, host.uid, host.noisy
+            )
+            host.links.append(Link(url=url, tag_path=tag_path, anchor="Image"))
+
+    def _add_offsite(self, pages: list[_PlannedPage]) -> None:
+        """A few links leaving the website boundary (must be filtered)."""
+        rng = self.rng
+        for _ in range(min(8, len(pages))):
+            host = rng.choice(pages)
+            tag_path = self.paths.path(
+                SlotKind.FOOTER, host.section.slug, host.uid, host.noisy
+            )
+            host.links.append(
+                Link(url=self.urlf.offsite_url(), tag_path=tag_path, anchor="Partner")
+            )
+
+    def _materialise(self, pages: list[_PlannedPage]) -> None:
+        """Turn planned pages into graph nodes with sampled HTML sizes."""
+        profile = self.profile
+        for planned in pages:
+            size = clipped_normal_int(
+                self.rng, profile.html_size_mean, profile.html_size_std,
+                low=2_000, high=250_000,
+            )
+            self.graph.add_page(
+                Page(
+                    url=planned.url,
+                    kind=PageKind.HTML,
+                    mime_type="text/html",
+                    status=200,
+                    size=size,
+                    links=planned.links,
+                    section=planned.section.name,
+                )
+            )
+
+    def _add_traps(self, pages: list[_PlannedPage]) -> None:
+        """A robots-disallowed spider trap: an /internal/ search chain.
+
+        Each trap page links only to the next one, mimicking unbounded
+        calendar/search spaces.  The chain is finite here (the graph
+        must stay finite) but long enough to hurt impolite crawlers.
+        """
+        profile = self.profile
+        if profile.trap_pages <= 0:
+            return
+        rng = self.rng
+        base = profile.base_url.rstrip("/")
+        trap_urls = [
+            f"{base}/internal/search?start={i}" for i in range(profile.trap_pages)
+        ]
+        for i, url in enumerate(trap_urls):
+            links = []
+            if i + 1 < len(trap_urls):
+                links.append(
+                    Link(
+                        url=trap_urls[i + 1],
+                        tag_path="html body div#main div.search-results a.next-page",
+                        anchor="Next results",
+                    )
+                )
+            self.graph.add_page(
+                Page(url=url, kind=PageKind.HTML, mime_type="text/html",
+                     status=200, size=12_000, links=links, section="internal")
+            )
+        # Entry links to the trap head from a few live pages.
+        for _ in range(min(3, len(pages))):
+            host = rng.choice(pages)
+            tag_path = self.paths.path(
+                SlotKind.ARTICLE, host.section.slug, host.uid, host.noisy
+            )
+            self.graph.page(host.url).links.append(
+                Link(url=trap_urls[0], tag_path=tag_path, anchor="Search")
+            )
+
+    def _add_deep_portals(self, sections: list[_Section]) -> None:
+        """Deep-web search portals (extension): targets behind GET forms.
+
+        Each portal page carries a form over finite filter dimensions;
+        every value combination resolves to a result page listing a few
+        *deep* targets reachable only through submission — the content
+        that motivates the paper's deep-web future work.
+        """
+        from repro.webgraph.model import Form
+
+        profile = self.profile
+        if profile.deep_web_portals <= 0:
+            return
+        rng = self.rng
+        data_sections = [s for s in sections if s.is_data and s.hub_url]
+        if not data_sections:
+            return
+        base = profile.base_url.rstrip("/")
+        mimes = [m for m, _ in GENERATOR_TARGET_MIMES]
+        mime_weights = [w for _, w in GENERATOR_TARGET_MIMES]
+        for portal_index in range(profile.deep_web_portals):
+            section = data_sections[portal_index % len(data_sections)]
+            portal_url = f"{base}/{section.slug}/data-explorer-{portal_index}"
+            action = f"{portal_url}/results"
+            fields = (
+                ("year", tuple(str(2019 + i) for i in range(rng.randint(2, 4)))),
+                ("theme", tuple(rng.sample(
+                    ["economy", "health", "education", "trade"], rng.randint(2, 3)
+                ))),
+            )
+            form = Form(action=action, fields=fields)
+            result_urls = tuple(form.submission_urls())
+            # Result pages, each listing fresh deep targets.
+            uid = self._next_uid()
+            for result_url in result_urls:
+                n_targets = rng.randint(1, 3)
+                links = []
+                for _ in range(n_targets):
+                    mime = weighted_choice(rng, mimes, mime_weights)
+                    target_url = self.urlf.target_url(
+                        section.language, section.slug, mime
+                    )
+                    size = int(bounded_lognormal(
+                        rng, profile.target_size_mean, profile.target_size_std,
+                        low=2_000,
+                    ))
+                    self.graph.add_page(Page(
+                        url=target_url, kind=PageKind.TARGET, mime_type=mime,
+                        status=200, size=size, section=section.name,
+                    ))
+                    links.append(Link(
+                        url=target_url,
+                        tag_path=self.paths.path(
+                            SlotKind.DOWNLOAD, section.slug, uid, False
+                        ),
+                        anchor=self._target_anchor(mime),
+                    ))
+                self.graph.add_page(Page(
+                    url=result_url, kind=PageKind.HTML, mime_type="text/html",
+                    status=200, size=14_000, links=links, section=section.name,
+                ))
+            # The portal page itself, linked from its section hub.
+            self.graph.add_page(Page(
+                url=portal_url, kind=PageKind.HTML, mime_type="text/html",
+                status=200, size=16_000,
+                links=[],
+                forms=[Form(action=action, fields=fields,
+                            result_urls=result_urls)],
+                section=section.name,
+            ))
+            hub = self.graph.page(section.hub_url)
+            hub.links.append(Link(
+                url=portal_url,
+                tag_path=self.paths.path(
+                    SlotKind.CONTENT_LIST, section.slug, uid, False
+                ),
+                anchor="Data explorer",
+            ))
+
+    def _add_robots_and_sitemap(
+        self, pages: list[_PlannedPage], sections: list[_Section]
+    ) -> None:
+        profile = self.profile
+        if not profile.with_robots:
+            return
+        base = profile.base_url.rstrip("/")
+        self.graph.robots_txt = (
+            "User-agent: *\n"
+            "Disallow: /internal/\n"
+            "Crawl-delay: 1\n"
+            f"Sitemap: {base}/sitemap.xml\n"
+        )
+        hubs = [s.hub_url for s in sections if s.hub_url]
+        rng = derive_rng(profile.seed, "sitemap", profile.name)
+        extras = [
+            p.url for p in pages
+            if p.depth >= 2 and rng.random() < profile.sitemap_fraction
+        ]
+        self.graph.sitemap_urls = [self.graph.root_url] + hubs + extras

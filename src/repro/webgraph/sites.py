@@ -1,0 +1,174 @@
+"""The 18 website profiles of the paper's evaluation (Table 1).
+
+Each profile mirrors one of the paper's sites: target density, fraction
+of HTML pages linking to targets, target size distribution, relative
+depth profile, URL style, multilinguality and CSS idiosyncrasies (e.g.
+the unique-id noise that broke θ = 0.95 on *ed*).  Page counts are
+scaled down from the paper's (4 k – 1 M pages) to laptop scale while
+preserving the *relative* size ordering; target depth statistics are
+scaled with the site, preserving the shallow/deep contrast between e.g.
+*ce* (4.2 ± 0.5) and *ju* (86.9 ± 86.3).
+
+``PAPER_STATS`` keeps the paper's published Table 1 numbers so the
+Table 1 experiment can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.rng import derive_seed
+from repro.webgraph.generator import SiteProfile, generate_site
+from repro.webgraph.model import WebsiteGraph
+
+
+@dataclass(frozen=True)
+class PaperSiteStats:
+    """The values the paper reports in Table 1 (sizes in thousands, MB)."""
+
+    name: str
+    start_url: str
+    multilingual: bool
+    fully_crawled: bool
+    available_k: float
+    targets_k: float
+    html_to_target_pct: float
+    size_mean_mb: float
+    size_std_mb: float
+    depth_mean: float
+    depth_std: float
+
+
+#: Table 1 of the paper, verbatim.
+PAPER_STATS: dict[str, PaperSiteStats] = {
+    s.name: s
+    for s in [
+        PaperSiteStats("ab", "https://www.abs.gov.au/", False, False,
+                       952.26, 263.26, 8.86, 4.50, 56.04, 8.94, 2.56),
+        PaperSiteStats("as", "https://www.assemblee-nationale.fr/", False, False,
+                       949.42, 155.94, 4.34, 0.54, 6.38, 5.84, 1.07),
+        PaperSiteStats("be", "https://www.bea.gov/", False, True,
+                       31.23, 15.84, 32.19, 2.03, 6.99, 5.73, 3.21),
+        PaperSiteStats("ce", "https://www.census.gov/", False, False,
+                       988.37, 257.68, 3.47, 1.51, 15.77, 4.23, 0.48),
+        PaperSiteStats("cl", "https://www.collectivites-locales.gouv.fr", False, True,
+                       5.54, 3.70, 5.40, 1.15, 4.91, 2.80, 0.82),
+        PaperSiteStats("cn", "https://www.cnis.fr/", False, True,
+                       12.80, 7.49, 13.87, 0.43, 1.74, 4.26, 1.59),
+        PaperSiteStats("ed", "https://www.education.gouv.fr/", False, True,
+                       102.71, 10.47, 3.95, 1.00, 3.07, 11.89, 13.22),
+        PaperSiteStats("il", "https://www.ilo.org/", True, False,
+                       990.71, 81.01, 2.53, 13.40, 110.01, 4.26, 1.28),
+        PaperSiteStats("in", "https://www.interieur.gouv.fr/", False, True,
+                       922.46, 22.98, 1.54, 1.12, 3.06, 66.94, 39.43),
+        PaperSiteStats("is", "https://www.insee.fr/", True, True,
+                       285.55, 168.88, 41.34, 3.13, 21.43, 5.20, 1.81),
+        PaperSiteStats("jp", "https://www.soumu.go.jp/", True, False,
+                       993.87, 328.83, 6.30, 0.80, 4.49, 5.18, 1.29),
+        PaperSiteStats("ju", "https://www.justice.gouv.fr/", False, True,
+                       56.61, 14.85, 4.85, 0.48, 1.34, 86.91, 86.30),
+        PaperSiteStats("nc", "https://nces.ed.gov/", False, True,
+                       309.97, 84.94, 18.87, 1.10, 11.56, 3.63, 1.66),
+        PaperSiteStats("oe", "https://www.oecd.org/", True, True,
+                       222.58, 45.04, 15.61, 2.31, 23.37, 6.28, 5.65),
+        PaperSiteStats("ok", "https://okfn.org/", True, True,
+                       423.12, 12.95, 0.74, 0.04, 0.24, 2.64, 2.89),
+        PaperSiteStats("qa", "https://www.psa.gov.qa/", True, True,
+                       4.36, 2.45, 4.15, 2.97, 19.28, 3.03, 0.61),
+        PaperSiteStats("wh", "https://www.who.int/", True, False,
+                       351.86, 55.59, 14.19, 1.26, 11.14, 4.43, 0.62),
+        PaperSiteStats("wo", "https://www.worldbank.org/", True, False,
+                       223.67, 23.10, 2.38, 2.80, 27.16, 4.52, 0.69),
+    ]
+}
+
+_MB = 1_000_000
+
+
+def _profile(
+    name: str,
+    n_pages: int,
+    depth_mean: float,
+    depth_std: float,
+    url_style: str,
+    languages: tuple[str, ...],
+    palette_index: int,
+    unique_id_noise: float = 0.0,
+    n_sections: int = 8,
+) -> SiteProfile:
+    stats = PAPER_STATS[name]
+    return SiteProfile(
+        name=name,
+        base_url=stats.start_url.rstrip("/"),
+        n_pages=n_pages,
+        target_fraction=stats.targets_k / stats.available_k,
+        html_to_target_pct=stats.html_to_target_pct,
+        target_depth_mean=depth_mean,
+        target_depth_std=depth_std,
+        target_size_mean=stats.size_mean_mb * _MB,
+        target_size_std=stats.size_std_mb * _MB,
+        url_style=url_style,
+        languages=languages,
+        palette_index=palette_index,
+        unique_id_noise=unique_id_noise,
+        n_sections=n_sections,
+        fully_crawled=stats.fully_crawled,
+        seed=derive_seed(0, "paper-site", name),
+    )
+
+
+#: Scaled-down profiles for the 18 paper sites.  Page counts preserve the
+#: paper's relative ordering (qa smallest … jp/ce/il/ab/as/in largest);
+#: depths preserve the shallow/deep contrast (ju and in are the deep
+#: pagination-portal sites; ce is extremely shallow).
+PAPER_SITES: dict[str, SiteProfile] = {
+    p.name: p
+    for p in [
+        _profile("ab", 6000, 8.9, 2.6, "extension", ("en",), 1),
+        _profile("as", 6000, 5.8, 1.1, "path", ("fr",), 2),
+        _profile("be", 2400, 5.7, 3.2, "extension", ("en",), 0),
+        _profile("ce", 6200, 4.2, 0.5, "path", ("en",), 1, n_sections=10),
+        _profile("cl", 1300, 2.8, 0.8, "extension", ("fr",), 2, n_sections=5),
+        _profile("cn", 1800, 4.3, 1.6, "extension", ("fr",), 2, n_sections=6),
+        _profile("ed", 3600, 9.5, 7.0, "path", ("fr",), 2, unique_id_noise=0.45),
+        _profile("il", 6200, 4.3, 1.3, "node", ("en", "fr", "es"), 3, n_sections=9),
+        _profile("in", 6000, 24.0, 12.0, "node", ("fr",), 2),
+        _profile("is", 4500, 5.2, 1.8, "extension", ("fr", "en"), 0),
+        _profile("jp", 6200, 5.2, 1.3, "path", ("ja", "en"), 1, n_sections=9),
+        _profile("ju", 3000, 28.0, 22.0, "node", ("fr",), 2, n_sections=6),
+        _profile("nc", 4600, 3.6, 1.7, "extension", ("en",), 0),
+        _profile("oe", 4200, 6.3, 4.0, "path", ("en", "fr"), 3, unique_id_noise=0.15),
+        _profile("ok", 5000, 2.6, 1.5, "path", ("en", "es"), 1, n_sections=9),
+        _profile("qa", 1100, 3.0, 0.6, "path", ("ar", "en"), 0, n_sections=5),
+        _profile("wh", 4800, 4.4, 0.7, "path", ("en", "fr", "es"), 3, n_sections=9),
+        _profile("wo", 4200, 4.5, 0.7, "path", ("en", "es"), 3, n_sections=9),
+    ]
+}
+
+#: The 11 sites the paper crawled completely (hyper-parameter studies and
+#: classifier evaluations run only on these).
+FULLY_CRAWLED_SITES: tuple[str, ...] = tuple(
+    sorted(name for name, s in PAPER_STATS.items() if s.fully_crawled)
+)
+
+#: The 10 sites shown in Figure 4.
+FIGURE4_SITES: tuple[str, ...] = ("as", "ce", "cl", "ed", "il", "in", "ju", "nc", "wh", "wo")
+
+
+def paper_site_profiles() -> list[SiteProfile]:
+    """All 18 profiles, in the paper's (alphabetical) order."""
+    return [PAPER_SITES[name] for name in sorted(PAPER_SITES)]
+
+
+def load_paper_site(name: str, scale: float = 1.0) -> WebsiteGraph:
+    """Generate the synthetic replica of paper site ``name``.
+
+    ``scale`` < 1 shrinks the site further (useful in tests); 1.0 is the
+    default laptop-scale size used by the benchmark harness.
+    """
+    if name not in PAPER_SITES:
+        raise KeyError(f"unknown paper site: {name!r}; pick one of {sorted(PAPER_SITES)}")
+    profile = PAPER_SITES[name]
+    if scale != 1.0:
+        profile = profile.scaled(scale)
+    return generate_site(profile)

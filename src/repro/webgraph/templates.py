@@ -1,0 +1,209 @@
+"""Tag-path templates for generated pages.
+
+The central hypothesis of the paper is that *links found on similar DOM
+tag paths lead to similar content* — e.g. every link inside
+``ul.datasets li a`` leads to a dataset page, on any page of the site.
+The generator realises that hypothesis the way real CMSes do: each page
+is an instance of a site-wide layout with typed *link slots* (navigation
+menu, content listing, inline article links, download list, pagination,
+footer), and the tag path of a link is fully determined by the slot it
+occupies plus the section-specific CSS decorations of the page.
+
+A profile-controlled ``unique_id_noise`` makes a fraction of pages carry
+a unique ``#id`` on their main container, entering every tag path of the
+page.  This reproduces the failure mode the paper reports for θ = 0.95
+("websites adding unique IDs in tags" caused one action per page and an
+OOM on *ed*).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+
+class SlotKind(Enum):
+    """Typed link slots of a page layout."""
+
+    NAV = "nav"
+    BREADCRUMB = "breadcrumb"
+    CONTENT_LIST = "content_list"
+    DATASET_LIST = "dataset_list"
+    ARTICLE = "article"
+    DOWNLOAD = "download"
+    PAGINATION = "pagination"
+    FOOTER = "footer"
+    SIDEBAR = "sidebar"
+    MEDIA = "media"
+
+
+#: Alternative CSS palettes so the 18 sites do not share literal class
+#: names (the crawler must learn per-site, not rely on cross-site priors).
+_THEME_PALETTES: tuple[dict[str, str], ...] = (
+    {
+        "wrapper": "div#main.container",
+        "nav": "nav.main-nav",
+        "menu": "ul.menu",
+        "list": "div.content ul.items",
+        "datasets": "div.content ul.datasets",
+        "article": "div.article p",
+        "downloads": "section.downloads ul.files",
+        "download_a": "a.download",
+        "pagination": "nav.pagination ul",
+        "pagination_a": "a.next",
+        "footer": "footer#footer div.links ul",
+        "sidebar": "aside.sidebar ul.related",
+        "breadcrumb": "ol.breadcrumb li",
+    },
+    {
+        "wrapper": "div#page.wrapper",
+        "nav": "header.site-header nav",
+        "menu": "ul#primary-menu",
+        "list": "main.site-main div.entry-list",
+        "datasets": "main.site-main div.resource-list",
+        "article": "main.site-main div.entry-content p",
+        "downloads": "div.attachments ul.attachment-list",
+        "download_a": "a.attachment-link",
+        "pagination": "div.nav-links",
+        "pagination_a": "a.page-numbers",
+        "footer": "footer.site-footer div.widget ul",
+        "sidebar": "div.secondary ul.menu-links",
+        "breadcrumb": "div.breadcrumbs span",
+    },
+    {
+        "wrapper": "div#contenu.fr-container",
+        "nav": "nav.fr-nav",
+        "menu": "ul.fr-nav__list",
+        "list": "div.fr-grid-row div.fr-col ul.fr-list",
+        "datasets": "div.fr-grid-row section.fr-download-group ul",
+        "article": "div.fr-grid-row div.fr-text p",
+        "downloads": "section.fr-downloads-group ul",
+        "download_a": "a.fr-link--download",
+        "pagination": "nav.fr-pagination ul",
+        "pagination_a": "a.fr-pagination__link",
+        "footer": "footer.fr-footer div.fr-footer__bottom ul",
+        "sidebar": "div.fr-sidemenu ul",
+        "breadcrumb": "nav.fr-breadcrumb ol",
+    },
+    {
+        "wrapper": "div#layout.l-page",
+        "nav": "div.l-header nav.g-nav",
+        "menu": "ul.g-nav__items",
+        "list": "div.l-body div.view-content ul",
+        "datasets": "div.l-body div.view-datasets ul",
+        "article": "div.l-body div.field--body p",
+        "downloads": "div.field--downloads div.file-list",
+        "download_a": "a.file-link",
+        "pagination": "ul.pager__items",
+        "pagination_a": "a.pager__link",
+        "footer": "div.l-footer div.region-footer ul",
+        "sidebar": "div.l-sidebar div.block ul",
+        "breadcrumb": "div.breadcrumb ol",
+    },
+)
+
+
+def _expand(fragment: str) -> list[str]:
+    """Split a palette fragment like ``"div.content ul.items"`` into segments."""
+    return fragment.split(" ")
+
+
+@dataclass
+class TagPathBuilder:
+    """Builds canonical tag-path strings for a site's layout.
+
+    Parameters
+    ----------
+    palette_index:
+        Which CSS palette the site uses.
+    unique_id_noise:
+        Probability that a page's wrapper carries a unique ``#id``
+        suffix, making all its tag paths page-unique.
+    section_in_path:
+        Whether the section name decorates list containers (this is the
+        learnable signal: listing links of data-rich sections get their
+        own tag-path cluster).
+    """
+
+    palette_index: int = 0
+    unique_id_noise: float = 0.0
+    section_in_path: bool = True
+
+    def __post_init__(self) -> None:
+        self._palette = _THEME_PALETTES[self.palette_index % len(_THEME_PALETTES)]
+
+    def page_is_noisy(self, rng: random.Random) -> bool:
+        """Decide (once per page) whether its wrapper has a unique id."""
+        return self.unique_id_noise > 0 and rng.random() < self.unique_id_noise
+
+    def _prefix(self, page_uid: int, noisy: bool) -> list[str]:
+        wrapper = self._palette["wrapper"]
+        if noisy:
+            # Page-unique id on the wrapper: defeats exact path grouping.
+            from repro.html.dom import parse_segment, render_segment
+
+            tag, _, classes = parse_segment(wrapper)
+            wrapper = render_segment(tag, f"p{page_uid}", classes)
+        return ["html", "body", *_expand(wrapper)]
+
+    def _decorate(self, fragment: str, section: str) -> list[str]:
+        segments = _expand(fragment)
+        if self.section_in_path and section:
+            # CMS themes commonly put the section/term class on the listing
+            # container, e.g. ``ul.items.sec-statistics``.
+            segments = segments[:-1] + [segments[-1] + f".sec-{section}"]
+        return segments
+
+    def path(
+        self,
+        kind: SlotKind,
+        section: str,
+        page_uid: int,
+        noisy: bool = False,
+    ) -> str:
+        """Return the canonical tag path for a link slot on a page.
+
+        ``noisy`` must be decided once per page (via :meth:`page_is_noisy`)
+        so all slots of a page share the same wrapper id.
+        """
+        prefix = self._prefix(page_uid, noisy)
+        palette = self._palette
+        if kind is SlotKind.NAV:
+            middle = _expand(palette["nav"]) + _expand(palette["menu"]) + ["li"]
+            tail = ["a"]
+            prefix = ["html", "body"]  # navigation sits outside the wrapper
+        elif kind is SlotKind.BREADCRUMB:
+            middle = _expand(palette["breadcrumb"])
+            tail = ["a"]
+        elif kind is SlotKind.CONTENT_LIST:
+            middle = self._decorate(palette["list"], section) + ["li"]
+            tail = ["a"]
+        elif kind is SlotKind.DATASET_LIST:
+            # The dedicated dataset-listing widget of data sections: the
+            # inbound tag path of catalog pages, and the main signal the
+            # SB agent can learn (cf. the paper's div.view-datasets,
+            # collections-sief, … examples in Sec. 4.7).
+            middle = self._decorate(palette["datasets"], section) + ["li"]
+            tail = ["a"]
+        elif kind is SlotKind.ARTICLE:
+            middle = _expand(palette["article"])
+            tail = ["a"]
+        elif kind is SlotKind.DOWNLOAD:
+            middle = self._decorate(palette["downloads"], section) + ["li"]
+            tail = _expand(palette["download_a"])
+        elif kind is SlotKind.PAGINATION:
+            middle = _expand(palette["pagination"]) + ["li"]
+            tail = _expand(palette["pagination_a"])
+        elif kind is SlotKind.FOOTER:
+            middle = _expand(palette["footer"]) + ["li"]
+            tail = ["a"]
+        elif kind is SlotKind.SIDEBAR:
+            middle = self._decorate(palette["sidebar"], section) + ["li"]
+            tail = ["a"]
+        elif kind is SlotKind.MEDIA:
+            middle = _expand(palette["article"])
+            tail = ["a.media"]
+        else:  # pragma: no cover - exhaustive over enum
+            raise ValueError(f"unhandled slot kind: {kind}")
+        return " ".join(prefix + middle + tail)

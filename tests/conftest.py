@@ -1,0 +1,58 @@
+"""Shared fixtures: small deterministic sites and environments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.http.environment import CrawlEnvironment
+from repro.webgraph.generator import SiteProfile, generate_site
+
+
+def make_profile(**overrides) -> SiteProfile:
+    """A small, fast site profile with sensible defaults for tests."""
+    defaults = dict(
+        name="testsite",
+        base_url="https://www.testsite.example",
+        n_pages=220,
+        target_fraction=0.30,
+        html_to_target_pct=8.0,
+        target_depth_mean=3.0,
+        target_depth_std=1.0,
+        target_size_mean=500_000.0,
+        target_size_std=1_500_000.0,
+        n_sections=4,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return SiteProfile(**defaults)
+
+
+@pytest.fixture(scope="session")
+def small_site():
+    """A ~220-page website graph shared across the test session."""
+    return generate_site(make_profile())
+
+
+@pytest.fixture(scope="session")
+def small_env(small_site):
+    return CrawlEnvironment(small_site)
+
+
+@pytest.fixture(scope="session")
+def deep_site():
+    """A site with a deep catalog chain (ju-like)."""
+    return generate_site(
+        make_profile(
+            name="deepsite",
+            base_url="https://www.deepsite.example",
+            n_pages=400,
+            target_depth_mean=12.0,
+            target_depth_std=6.0,
+            url_style="node",
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def deep_env(deep_site):
+    return CrawlEnvironment(deep_site)

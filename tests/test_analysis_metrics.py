@@ -1,0 +1,111 @@
+"""Tests for evaluation metrics over crawl traces."""
+
+import math
+
+from repro.analysis.metrics import (
+    auc_targets_per_request,
+    non_target_volume_fraction,
+    requests_to_fraction,
+    site_non_target_bytes,
+    targets_vs_requests_curve,
+    volume_curve,
+)
+from repro.analysis.trace import CrawlRecord, CrawlTrace
+
+
+def _trace(records):
+    trace = CrawlTrace(crawler="t", site="s")
+    for method, url, status, size, is_target in records:
+        trace.append(CrawlRecord(method, url, status, size, is_target))
+    return trace
+
+
+def test_requests_to_fraction_basic():
+    # 10 requests; targets at positions 2, 4, 6 (1-indexed); total 3 targets.
+    records = [
+        ("GET", f"u{i}", 200, 100, i in (1, 3, 5)) for i in range(10)
+    ]
+    trace = _trace(records)
+    # 90% of 3 targets = ceil(2.7) = 3 → reached at request 6 of 20 available
+    assert requests_to_fraction(trace, 3, 20) == 100.0 * 6 / 20
+
+
+def test_requests_to_fraction_never_reached():
+    trace = _trace([("GET", "u", 200, 10, False)] * 5)
+    assert math.isinf(requests_to_fraction(trace, 3, 10))
+
+
+def test_requests_to_fraction_degenerate():
+    trace = _trace([])
+    assert math.isinf(requests_to_fraction(trace, 0, 10))
+    assert math.isinf(requests_to_fraction(trace, 5, 0))
+
+
+def test_head_requests_count(small_env):
+    records = [
+        ("HEAD", "u0", 200, 280, False),
+        ("GET", "u1", 200, 100, True),
+    ]
+    trace = _trace(records)
+    assert requests_to_fraction(trace, 1, 10) == 20.0  # 2 requests / 10
+
+
+def test_non_target_volume_fraction():
+    records = [
+        ("GET", "h1", 200, 1000, False),
+        ("GET", "t1", 200, 500, True),
+        ("GET", "h2", 200, 1000, False),
+        ("GET", "t2", 200, 500, True),
+    ]
+    trace = _trace(records)
+    # total target volume 1000; 90% = 900 reached at t2, after 2000
+    # non-target bytes out of total 4000 → 50%
+    assert non_target_volume_fraction(trace, 1000, 4000) == 50.0
+
+
+def test_non_target_volume_never_reached():
+    trace = _trace([("GET", "h", 200, 100, False)])
+    assert math.isinf(non_target_volume_fraction(trace, 1000, 100))
+
+
+def test_curves_shapes():
+    records = [("GET", f"u{i}", 200, 10 * (i + 1), i % 2 == 0) for i in range(6)]
+    trace = _trace(records)
+    xs, ys = targets_vs_requests_curve(trace)
+    assert list(xs) == [1, 2, 3, 4, 5, 6]
+    assert list(ys) == [1, 1, 2, 2, 3, 3]
+    non_target, target = volume_curve(trace)
+    assert non_target[-1] == trace.non_target_bytes
+    assert target[-1] == trace.target_bytes
+
+
+def test_auc_bounds():
+    perfect = _trace([("GET", f"t{i}", 200, 1, True) for i in range(5)])
+    awful = _trace([("GET", f"h{i}", 200, 1, False) for i in range(5)])
+    assert auc_targets_per_request(awful, 5) == 0.0
+    assert 0.5 < auc_targets_per_request(perfect, 5) <= 1.0
+
+
+def test_site_non_target_bytes(small_env):
+    value = site_non_target_bytes(small_env.graph)
+    html_bytes = sum(p.size for p in small_env.graph.html_pages())
+    assert value >= html_bytes
+
+
+def test_trace_aggregates_and_truncation():
+    records = [
+        ("GET", "a", 200, 10, False),
+        ("GET", "b", 200, 20, True),
+        ("GET", "c", 404, 5, False),
+    ]
+    trace = _trace(records)
+    assert trace.n_requests == 3
+    assert trace.n_targets == 1
+    assert trace.total_bytes == 35
+    assert trace.target_bytes == 20
+    assert trace.non_target_bytes == 15
+    assert trace.target_urls() == {"b"}
+    truncated = trace.truncated(2)
+    assert truncated.n_requests == 2
+    assert truncated.n_targets == 1
+    assert trace.records[2].is_error

@@ -1,0 +1,73 @@
+"""Tests for statistical comparison utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    PairedComparison,
+    bootstrap_mean_ci,
+    compare_paired,
+)
+
+
+def test_bootstrap_ci_contains_mean():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    mean, low, high = bootstrap_mean_ci(values, seed=1)
+    assert mean == 3.0
+    assert low <= mean <= high
+    assert low >= 1.0 and high <= 5.0
+
+
+def test_bootstrap_ci_narrow_for_constant_data():
+    mean, low, high = bootstrap_mean_ci([7.0] * 20, seed=1)
+    assert mean == low == high == 7.0
+
+
+def test_bootstrap_requires_values():
+    with pytest.raises(ValueError):
+        bootstrap_mean_ci([])
+
+
+def test_compare_paired_clear_winner():
+    a = [10.0, 12.0, 9.0, 11.0, 10.5, 9.5, 10.2, 11.1]
+    b = [20.0, 22.0, 19.0, 21.0, 20.5, 19.5, 20.2, 21.1]
+    comparison = compare_paired(a, b, seed=1)
+    assert comparison.wins_a == 8
+    assert comparison.wins_b == 0
+    assert comparison.mean_difference == pytest.approx(-10.0)
+    assert comparison.significant
+    assert comparison.p_value is not None and comparison.p_value < 0.05
+    assert "wins 8" in comparison.render("SB", "BFS")
+
+
+def test_compare_paired_handles_infinities():
+    a = [10.0, math.inf, math.inf]
+    b = [math.inf, 5.0, math.inf]
+    comparison = compare_paired(a, b)
+    assert comparison.wins_a == 1   # site 0: b is inf
+    assert comparison.wins_b == 1   # site 1: a is inf
+    assert comparison.n_pairs == 0  # no finite-finite pair
+
+
+def test_compare_paired_length_mismatch():
+    with pytest.raises(ValueError):
+        compare_paired([1.0], [1.0, 2.0])
+
+
+def test_no_significance_for_noise():
+    a = [10.0, 11.0, 9.0, 10.5, 9.5, 10.1, 9.9, 10.3]
+    b = [10.1, 10.9, 9.1, 10.4, 9.6, 10.0, 10.0, 10.2]
+    comparison = compare_paired(a, b, seed=2)
+    assert not comparison.significant or abs(comparison.mean_difference) < 0.5
+
+
+def test_small_sample_skips_wilcoxon():
+    comparison = compare_paired([1.0, 2.0], [2.0, 3.0])
+    assert comparison.p_value is None
+
+
+def test_ties_counted_as_no_win():
+    comparison = compare_paired([5.0, 5.0], [5.0, 6.0])
+    assert comparison.wins_a == 1
+    assert comparison.wins_b == 0

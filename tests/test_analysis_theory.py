@@ -1,0 +1,133 @@
+"""Tests for the NP-hardness machinery (Prop. 4): the Set Cover ↔ graph
+crawling reduction is validated executably, including as a hypothesis
+property over random instances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.theory import (
+    CrawlInstance,
+    SetCoverInstance,
+    crawl_budget_for_cover_budget,
+    crawl_exists_within_budget,
+    min_crawl_cost,
+    reduce_set_cover_to_crawl,
+    set_cover_exact,
+    set_cover_greedy,
+)
+
+
+def _instance(n_elements, subsets):
+    return SetCoverInstance(
+        n_elements=n_elements,
+        subsets=tuple(frozenset(s) for s in subsets),
+    )
+
+
+def test_set_cover_instance_validates_coverage():
+    with pytest.raises(ValueError):
+        _instance(3, [{0, 1}])
+
+
+def test_exact_finds_minimum():
+    instance = _instance(4, [{0, 1}, {2, 3}, {0, 1, 2}, {3}])
+    cover = set_cover_exact(instance)
+    assert len(cover) == 2  # {0,1} ∪ {2,3} or {0,1,2} ∪ {3}
+
+
+def test_greedy_is_feasible():
+    instance = _instance(5, [{0, 1, 2}, {2, 3}, {3, 4}, {4}])
+    cover = set_cover_greedy(instance)
+    covered = set().union(*(instance.subsets[i] for i in cover))
+    assert covered == {0, 1, 2, 3, 4}
+
+
+def test_greedy_at_least_exact():
+    instance = _instance(6, [{0, 1, 2, 3}, {0, 4}, {1, 5}, {4, 5}])
+    assert len(set_cover_greedy(instance)) >= len(set_cover_exact(instance))
+
+
+def test_reduction_structure():
+    instance = _instance(3, [{0, 1}, {1, 2}])
+    crawl = reduce_set_cover_to_crawl(instance)
+    assert crawl.n_nodes == 1 + 2 + 3
+    assert crawl.root == 0
+    assert crawl.targets == frozenset({3, 4, 5})
+    # root links every set vertex
+    assert set(crawl.successors(0)) == {1, 2}
+    # set vertex 1 (= subset {0,1}) links elements 0 and 1 → nodes 3, 4
+    assert set(crawl.successors(1)) == {3, 4}
+
+
+def test_reduction_equivalence_worked_example():
+    """Cover of size B exists iff crawl of cost |U| + B + 1 exists."""
+    instance = _instance(4, [{0, 1}, {2, 3}, {1, 2}])
+    crawl = reduce_set_cover_to_crawl(instance)
+    optimum = len(set_cover_exact(instance))  # = 2
+    assert min_crawl_cost(crawl) == instance.n_elements + optimum + 1
+    assert crawl_exists_within_budget(
+        crawl, crawl_budget_for_cover_budget(instance, optimum)
+    )
+    assert not crawl_exists_within_budget(
+        crawl, crawl_budget_for_cover_budget(instance, optimum - 1)
+    )
+
+
+@st.composite
+def set_cover_instances(draw):
+    n_elements = draw(st.integers(2, 6))
+    n_subsets = draw(st.integers(1, 5))
+    subsets = [
+        draw(
+            st.sets(st.integers(0, n_elements - 1), min_size=1,
+                    max_size=n_elements)
+        )
+        for _ in range(n_subsets)
+    ]
+    # Guarantee coverage by adding singletons for uncovered elements.
+    covered = set().union(*subsets)
+    for element in range(n_elements):
+        if element not in covered:
+            subsets.append({element})
+    return _instance(n_elements, subsets)
+
+
+@given(set_cover_instances())
+@settings(max_examples=40, deadline=None)
+def test_reduction_equivalence_property(instance):
+    """Prop. 4 equivalence on random instances: the minimal crawl cost of
+    G_sc equals |U| + (minimal cover size) + 1."""
+    crawl = reduce_set_cover_to_crawl(instance)
+    optimum = len(set_cover_exact(instance))
+    assert min_crawl_cost(crawl) == instance.n_elements + optimum + 1
+
+
+def test_min_crawl_cost_on_plain_graph():
+    # r -> a -> t ; r -> t2 : must include a to reach t.
+    crawl = CrawlInstance(
+        n_nodes=4,
+        root=0,
+        edges=((0, 1), (1, 2), (0, 3)),
+        targets=frozenset({2, 3}),
+    )
+    assert min_crawl_cost(crawl) == 4
+
+
+def test_min_crawl_cost_unreachable_target():
+    crawl = CrawlInstance(
+        n_nodes=3, root=0, edges=((0, 1),), targets=frozenset({2})
+    )
+    with pytest.raises(ValueError):
+        min_crawl_cost(crawl)
+
+
+def test_too_large_instance_rejected():
+    crawl = CrawlInstance(
+        n_nodes=40,
+        root=0,
+        edges=tuple((0, i) for i in range(1, 40)),
+        targets=frozenset({39}),
+    )
+    with pytest.raises(ValueError):
+        min_crawl_cost(crawl)

@@ -1,0 +1,72 @@
+"""Tests for crawl-trace persistence."""
+
+import json
+
+import pytest
+
+from repro.analysis.trace import CrawlRecord, CrawlTrace
+from repro.analysis.trace_io import load_trace, save_trace
+
+
+def _trace():
+    trace = CrawlTrace(crawler="SB-CLASSIFIER", site="ju")
+    trace.append(CrawlRecord("GET", "https://x.example/", 200, 1000, False))
+    trace.append(CrawlRecord("HEAD", "https://x.example/a", 200, 280, False))
+    trace.append(CrawlRecord("GET", "https://x.example/f.csv", 200, 512, True))
+    trace.append(CrawlRecord("GET", "https://x.example/dead", 404, 100, False))
+    trace.stopped_early_at = 3
+    return trace
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    original = _trace()
+    save_trace(original, path)
+    loaded = load_trace(path)
+    assert loaded.crawler == original.crawler
+    assert loaded.site == original.site
+    assert loaded.stopped_early_at == 3
+    assert loaded.records == original.records
+    assert loaded.n_targets == 1
+
+
+def test_empty_trace(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    save_trace(CrawlTrace(crawler="c", site="s"), path)
+    loaded = load_trace(path)
+    assert loaded.records == []
+
+
+def test_truncated_file_detected(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    save_trace(_trace(), path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")
+    with pytest.raises(ValueError, match="truncated"):
+        load_trace(path)
+
+
+def test_bad_format_version(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"format": 99, "n_records": 0}) + "\n")
+    with pytest.raises(ValueError, match="format"):
+        load_trace(path)
+
+
+def test_empty_file(tmp_path):
+    path = tmp_path / "nothing.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_trace(path)
+
+
+def test_metrics_survive_round_trip(tmp_path):
+    from repro.analysis.metrics import requests_to_fraction
+
+    path = tmp_path / "trace.jsonl"
+    original = _trace()
+    save_trace(original, path)
+    loaded = load_trace(path)
+    assert requests_to_fraction(loaded, 1, 10) == requests_to_fraction(
+        original, 1, 10
+    )

@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_all_experiments_registered():
+    expected = {
+        "table1", "table2", "table3", "table4", "table5", "table6",
+        "table7", "figure4", "figure5", "figure7", "figure15",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_cli_runs_table1(capsys):
+    assert main(["table1", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "computed in" in out
+
+
+def test_cli_runs_figure5(capsys):
+    assert main(["figure5", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["table99"])
+
+
+def test_cli_compare(capsys):
+    assert main(["compare", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Paired comparison" in out
+    assert "SB-CLASSIFIER - BFS" in out

@@ -1,0 +1,92 @@
+"""Tests for the action space (Algorithm 1 semantics)."""
+
+from repro.core.actions import ActionSpace
+from repro.core.tagpath import TagPathVectorizer
+
+
+def _space(theta):
+    return ActionSpace(TagPathVectorizer(n=2, m=8), theta=theta, seed=0)
+
+
+def test_identical_paths_share_action():
+    space = _space(0.75)
+    a = space.assign("html body div.content ul.items li a")
+    b = space.assign("html body div.content ul.items li a")
+    assert a == b
+    assert space.stats(a).n_members == 2
+
+
+def test_similar_paths_merge():
+    space = _space(0.75)
+    # Realistic-length paths differing in one segment share most 2-grams.
+    base = (
+        "html body div#page.wrapper main.site-main div.region div.block "
+        "div.view-content ul.items li"
+    )
+    a = space.assign(base + " a")
+    b = space.assign(base + " a.more")
+    assert a == b
+
+
+def test_dissimilar_paths_split():
+    space = _space(0.75)
+    a = space.assign("html body div.content ul.items li a")
+    b = space.assign("html body footer nav.menu span a.external")
+    assert a != b
+
+
+def test_theta_zero_single_action():
+    """θ = 0 groups everything (the paper's degenerate no-learning case)."""
+    space = _space(0.0)
+    paths = [
+        "html body div.content ul.items li a",
+        "html body footer div a",
+        "html body nav ul li a.x",
+    ]
+    actions = {space.assign(p) for p in paths}
+    assert len(actions) == 1
+
+
+def test_theta_one_splits_distinct_paths():
+    """θ = 1 gives (nearly) one action per distinct path."""
+    space = _space(1.0)
+    a = space.assign("html body div.content ul.items li a")
+    b = space.assign("html body div.other ul.items li a")
+    assert a != b
+    # ... but an *identical* path still joins its own action.
+    c = space.assign("html body div.content ul.items li a")
+    assert c == a
+
+
+def test_invalid_theta_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        _space(1.5)
+
+
+def test_centroid_updates_toward_new_members():
+    import numpy as np
+
+    space = _space(0.75)
+    a = space.assign("html body div.content ul.items li a")
+    before = space.centroid(a).copy()
+    space.assign("html body div.content ul.items li a.variant")
+    if space.n_actions == 1:  # merged
+        after = space.centroid(a)
+        assert not np.allclose(before, after)
+
+
+def test_action_count_monotone():
+    space = _space(0.9)
+    counts = []
+    for i in range(10):
+        space.assign(f"html body div.section{i} ul li a")
+        counts.append(space.n_actions)
+    assert counts == sorted(counts)
+
+
+def test_example_tag_path_recorded():
+    space = _space(0.75)
+    a = space.assign("html body div.datasets ul li a")
+    assert space.stats(a).example_tag_path == "html body div.datasets ul li a"

@@ -1,0 +1,93 @@
+"""Tests for the early-stopping monitor (Sec. 4.8)."""
+
+from repro.core.early_stopping import EarlyStoppingMonitor
+
+
+def _run(monitor, target_counts):
+    """Feed cumulative counts; return iteration where it stopped (or None)."""
+    for count in target_counts:
+        if monitor.observe(count):
+            return monitor.triggered_at
+    return monitor.triggered_at
+
+
+def test_stops_on_plateau():
+    monitor = EarlyStoppingMonitor(window=10, threshold=0.2, decay=0.5, patience=3)
+    # 100 iterations of strong discovery, then a long plateau.
+    counts = [i * 2 for i in range(100)] + [200] * 400
+    stopped = _run(monitor, counts)
+    assert stopped is not None
+    assert stopped > 100
+
+
+def test_never_stops_while_discovering():
+    monitor = EarlyStoppingMonitor(window=10, threshold=0.2, decay=0.5, patience=3)
+    counts = [i for i in range(500)]  # slope 1 > threshold forever
+    assert _run(monitor, counts) is None
+
+
+def test_patience_resets_on_recovery():
+    monitor = EarlyStoppingMonitor(window=10, threshold=0.5, decay=1.0, patience=3)
+    counts = []
+    value = 0
+    # Alternate: 2 flat windows (below threshold), then a productive one.
+    for block in range(30):
+        if block % 3 == 2:
+            for _ in range(10):
+                value += 2
+                counts.append(value)
+        else:
+            counts.extend([value] * 10)
+    assert _run(monitor, counts) is None
+
+
+def test_triggered_state_is_sticky():
+    monitor = EarlyStoppingMonitor(
+        window=5, threshold=1.0, decay=1.0, patience=1,
+        arm_after_first_target=False, require_ramp_up=False,
+    )
+    for _ in range(5):
+        monitor.observe(0)
+    assert monitor.stopped
+    assert monitor.observe(10_000)  # still stopped
+
+
+def test_history_recorded():
+    monitor = EarlyStoppingMonitor(
+        window=10, threshold=0.2, decay=0.5, patience=2,
+        arm_after_first_target=False,
+    )
+    _run(monitor, [0] * 100)
+    assert len(monitor.history) >= 2
+    iterations = [i for i, _ in monitor.history]
+    assert iterations == sorted(iterations)
+
+
+def test_not_armed_before_first_target():
+    """Zero-discovery phases before the first target never stop the crawl."""
+    monitor = EarlyStoppingMonitor(window=5, threshold=0.5, decay=1.0, patience=1)
+    assert _run(monitor, [0] * 500) is None
+    assert monitor.history == []  # never armed, never measured
+
+
+def test_ramp_up_required_before_stopping():
+    """Low windows only count once discovery has ramped up."""
+    monitor = EarlyStoppingMonitor(window=10, threshold=0.5, decay=1.0, patience=2)
+    # One early target, then a long dry spell: must NOT stop (no ramp-up).
+    counts = [1] * 300
+    assert _run(monitor, counts) is None
+    # Now a strong burst followed by a plateau: must stop.
+    value = 1
+    tail = []
+    for _ in range(50):
+        value += 2
+        tail.append(value)
+    tail += [value] * 100
+    assert _run(monitor, tail) is not None
+
+
+def test_short_crawl_never_triggers():
+    """Small sites finish before κ·ν iterations (paper behaviour iii)."""
+    monitor = EarlyStoppingMonitor(window=1000, threshold=0.2, decay=0.05,
+                                   patience=15)
+    assert _run(monitor, list(range(900))) is None

@@ -1,0 +1,107 @@
+"""Tests for the action-partitioned frontier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frontier import Frontier
+
+
+def test_add_and_pop_from_action():
+    frontier = Frontier(seed=0)
+    frontier.add("u1", 0)
+    frontier.add("u2", 0)
+    frontier.add("u3", 1)
+    assert len(frontier) == 3
+    url = frontier.pop_from_action(0)
+    assert url in ("u1", "u2")
+    assert len(frontier) == 2
+    assert url not in frontier
+
+
+def test_duplicate_add_ignored():
+    frontier = Frontier()
+    frontier.add("u1", 0)
+    frontier.add("u1", 1)  # already present under action 0
+    assert len(frontier) == 1
+    assert frontier.action_of("u1") == 0
+
+
+def test_pop_from_sleeping_action_raises():
+    frontier = Frontier()
+    frontier.add("u1", 0)
+    frontier.pop_from_action(0)
+    with pytest.raises(KeyError):
+        frontier.pop_from_action(0)
+    with pytest.raises(KeyError):
+        frontier.pop_from_action(99)
+
+
+def test_awake_actions():
+    frontier = Frontier()
+    frontier.add("u1", 0)
+    frontier.add("u2", 1)
+    assert sorted(frontier.awake_actions()) == [0, 1]
+    frontier.pop_from_action(0)
+    assert frontier.awake_actions() == [1]
+
+
+def test_pop_random_empties_everything():
+    frontier = Frontier(seed=1)
+    urls = {f"u{i}" for i in range(20)}
+    for i, url in enumerate(sorted(urls)):
+        frontier.add(url, i % 3)
+    popped = {frontier.pop_random() for _ in range(20)}
+    assert popped == urls
+    assert len(frontier) == 0
+    with pytest.raises(KeyError):
+        frontier.pop_random()
+
+
+def test_discard():
+    frontier = Frontier()
+    frontier.add("u1", 0)
+    assert frontier.discard("u1")
+    assert not frontier.discard("u1")
+    assert len(frontier) == 0
+    assert frontier.awake_actions() == []
+
+
+def test_pop_from_action_uniformity():
+    frontier = Frontier(seed=3)
+    for i in range(3):
+        frontier.add(f"u{i}", 0)
+    # pop all; all three URLs must eventually come out
+    popped = {frontier.pop_from_action(0) for _ in range(3)}
+    assert popped == {"u0", "u1", "u2"}
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 200), st.integers(0, 4)),
+        min_size=1,
+        max_size=80,
+    )
+)
+@settings(max_examples=60)
+def test_frontier_invariants(operations):
+    """Size bookkeeping and membership stay consistent under mixed ops."""
+    frontier = Frontier(seed=0)
+    reference: dict[str, int] = {}
+    for number, action in operations:
+        url = f"u{number}"
+        frontier.add(url, action)
+        if url not in reference:
+            reference[url] = action
+    assert len(frontier) == len(reference)
+    for url, action in reference.items():
+        assert url in frontier
+        assert frontier.action_of(url) == action
+        assert frontier.size_of(action) > 0
+    # Drain everything through per-action pops.
+    drained = set()
+    while frontier.awake_actions():
+        action = frontier.awake_actions()[0]
+        drained.add(frontier.pop_from_action(action))
+    assert drained == set(reference)
+    assert len(frontier) == 0

@@ -1,0 +1,98 @@
+"""Tests for the HNSW index: recall against brute force, updates."""
+
+import numpy as np
+import pytest
+
+from repro.core.hnsw import HnswIndex
+
+
+def _random_vectors(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, dim))
+
+
+def _brute_force_nearest(vectors, query):
+    sims = vectors @ query / (
+        np.linalg.norm(vectors, axis=1) * np.linalg.norm(query) + 1e-12
+    )
+    return int(np.argmax(sims)), float(np.max(sims))
+
+
+def test_insert_and_exact_lookup():
+    index = HnswIndex(dim=8, seed=0)
+    vectors = _random_vectors(50, 8)
+    for i, v in enumerate(vectors):
+        index.insert(i, v)
+    assert len(index) == 50
+    # Querying with a stored vector returns that vector with sim ~1.
+    for i in (0, 17, 49):
+        key, sim = index.search(vectors[i], k=1)[0]
+        assert key == i
+        assert sim > 0.999
+
+
+def test_recall_against_brute_force():
+    dim = 16
+    vectors = _random_vectors(300, dim, seed=1)
+    index = HnswIndex(dim=dim, M=8, ef_construction=48, ef_search=48, seed=1)
+    for i, v in enumerate(vectors):
+        index.insert(i, v)
+    queries = _random_vectors(60, dim, seed=2)
+    hits = 0
+    for q in queries:
+        expected, _ = _brute_force_nearest(vectors, q)
+        got = [key for key, _ in index.search(q, k=5)]
+        if expected in got:
+            hits += 1
+    assert hits / len(queries) > 0.9
+
+
+def test_search_empty_index():
+    index = HnswIndex(dim=4)
+    assert index.search(np.ones(4), k=1) == []
+
+
+def test_duplicate_key_rejected():
+    index = HnswIndex(dim=4)
+    index.insert(1, np.ones(4))
+    with pytest.raises(KeyError):
+        index.insert(1, np.ones(4))
+
+
+def test_update_moves_point():
+    index = HnswIndex(dim=4, seed=0)
+    index.insert(0, np.array([1.0, 0.0, 0.0, 0.0]))
+    index.insert(1, np.array([0.0, 1.0, 0.0, 0.0]))
+    query = np.array([0.0, 0.0, 1.0, 0.0])
+    index.update(0, np.array([0.0, 0.1, 1.0, 0.0]))
+    key, sim = index.search(query, k=1)[0]
+    assert key == 0
+    assert sim > 0.9
+
+
+def test_update_unknown_key_rejected():
+    index = HnswIndex(dim=4)
+    with pytest.raises(KeyError):
+        index.update(9, np.ones(4))
+
+
+def test_cosine_similarity_accessor():
+    index = HnswIndex(dim=3)
+    index.insert(0, np.array([1.0, 0.0, 0.0]))
+    assert index.cosine_similarity(np.array([1.0, 0.0, 0.0]), 0) > 0.999
+    assert abs(index.cosine_similarity(np.array([0.0, 1.0, 0.0]), 0)) < 1e-9
+
+
+def test_zero_vector_handled():
+    index = HnswIndex(dim=3)
+    index.insert(0, np.zeros(3))
+    key, sim = index.search(np.ones(3), k=1)[0]
+    assert key == 0
+    assert sim == 0.0
+
+
+def test_k_larger_than_index():
+    index = HnswIndex(dim=3)
+    index.insert(0, np.ones(3))
+    results = index.search(np.ones(3), k=10)
+    assert len(results) == 1

@@ -1,0 +1,137 @@
+"""Tests for the online URL classifier (Algorithm 2)."""
+
+import pytest
+
+from repro.core.url_classifier import (
+    LinkContext,
+    OnlineUrlClassifier,
+    OracleUrlClassifier,
+    UrlClass,
+)
+from repro.webgraph.model import PageKind
+
+
+def _feed(classifier, n_html=20, n_target=20):
+    for i in range(max(n_html, n_target)):
+        if i < n_html:
+            classifier.add_labeled(
+                f"https://s.example/pages/article-{i}", UrlClass.HTML
+            )
+        if i < n_target:
+            classifier.add_labeled(
+                f"https://s.example/files/data-{i}.csv", UrlClass.TARGET
+            )
+
+
+def test_initial_phase_until_batch_and_both_classes():
+    classifier = OnlineUrlClassifier(batch_size=10)
+    assert classifier.initial_training_phase
+    for i in range(10):
+        classifier.add_labeled(f"https://s.example/p{i}", UrlClass.HTML)
+    # batch trained but only one class seen: still in initial phase
+    assert classifier.n_batches_trained == 1
+    assert classifier.initial_training_phase
+    for i in range(10):
+        classifier.add_labeled(f"https://s.example/f{i}.csv", UrlClass.TARGET)
+    assert not classifier.initial_training_phase
+
+
+def test_neither_labels_dropped():
+    classifier = OnlineUrlClassifier(batch_size=5)
+    for i in range(20):
+        classifier.add_labeled(f"https://s.example/x{i}", UrlClass.NEITHER)
+    assert classifier.n_batches_trained == 0  # batch never fills
+
+
+def test_learns_html_vs_target():
+    classifier = OnlineUrlClassifier(batch_size=10, seed=0)
+    _feed(classifier, 40, 40)
+    assert classifier.classify("https://s.example/files/new.csv") is UrlClass.TARGET
+    assert classifier.classify("https://s.example/pages/new-article") is UrlClass.HTML
+
+
+@pytest.mark.parametrize("model", ["LR", "SVM", "NB", "PA"])
+def test_all_model_variants_work(model):
+    classifier = OnlineUrlClassifier(batch_size=10, model=model, seed=0)
+    _feed(classifier, 40, 40)
+    assert classifier.classify("https://s.example/files/other.csv") is UrlClass.TARGET
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ValueError):
+        OnlineUrlClassifier(model="DeepNet")
+
+
+def test_unknown_feature_set_rejected():
+    with pytest.raises(ValueError):
+        OnlineUrlClassifier(feature_set="EVERYTHING")
+
+
+def test_url_cont_uses_context():
+    classifier = OnlineUrlClassifier(
+        batch_size=10, feature_set="URL_CONT", seed=0
+    )
+    context_target = LinkContext(anchor="Download CSV", dom_path="ul.files li a")
+    context_html = LinkContext(anchor="Read more", dom_path="div.article p a")
+    for i in range(30):
+        classifier.add_labeled(f"https://s.example/f{i}", UrlClass.TARGET, context_target)
+        classifier.add_labeled(f"https://s.example/p{i}", UrlClass.HTML, context_html)
+    # Same URL shape, distinguishable only through context features.
+    assert classifier.classify("https://s.example/f999", context_target) is UrlClass.TARGET
+    assert classifier.classify("https://s.example/p999", context_html) is UrlClass.HTML
+
+
+def test_replay_buffer_bounded():
+    classifier = OnlineUrlClassifier(batch_size=10, replay_buffer=25)
+    _feed(classifier, 100, 100)
+    assert len(classifier._replay) <= 25
+
+
+def test_replay_disabled_is_pure_incremental():
+    classifier = OnlineUrlClassifier(batch_size=10, replay_buffer=0)
+    _feed(classifier, 30, 30)
+    assert len(classifier._replay) == 0
+
+
+def test_oracle_classifier(small_site):
+    oracle = OracleUrlClassifier(small_site)
+    for page in small_site.pages():
+        label = oracle.classify(page.url)
+        if page.kind is PageKind.HTML:
+            assert label is UrlClass.HTML
+        elif page.kind is PageKind.TARGET:
+            assert label is UrlClass.TARGET
+        elif page.kind is PageKind.ERROR:
+            assert label is UrlClass.NEITHER
+    assert oracle.classify("https://nowhere.example/x") is UrlClass.NEITHER
+
+
+def test_oracle_resolves_redirects(small_site):
+    oracle = OracleUrlClassifier(small_site)
+    redirect = next(
+        p for p in small_site.pages() if p.kind is PageKind.REDIRECT
+    )
+    destination = small_site.page(redirect.redirect_to)
+    assert oracle.classify(redirect.url).value.lower() == (
+        "html" if destination.kind is PageKind.HTML else "target"
+    )
+
+
+def test_prequential_accuracy_tracks_learning():
+    classifier = OnlineUrlClassifier(batch_size=10, seed=0)
+    _feed(classifier, 200, 200)
+    # After warm-up the model separates the two URL families easily.
+    assert classifier.prequential_accuracy() > 0.8
+    assert classifier.recent_accuracy() > 0.95
+
+
+def test_prequential_zero_before_training():
+    classifier = OnlineUrlClassifier(batch_size=10)
+    assert classifier.prequential_accuracy() == 0.0
+    assert classifier.recent_accuracy() == 0.0
+
+
+def test_prequential_window_bounded():
+    classifier = OnlineUrlClassifier(batch_size=10, seed=0)
+    _feed(classifier, 600, 600)
+    assert len(classifier._prequential_window) <= 500

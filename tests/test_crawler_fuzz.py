@@ -1,0 +1,214 @@
+"""Adversarial / fuzzing tests: crawlers must terminate and keep their
+invariants on pathological graphs (redirect loops, self links, cycles,
+dead ends) and on arbitrary random graphs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BFSCrawler, DFSCrawler, RandomCrawler
+from repro.core.crawler import SBConfig, sb_classifier, sb_oracle
+from repro.http.environment import CrawlEnvironment
+from repro.webgraph.model import Link, Page, PageKind, WebsiteGraph
+
+BASE = "https://www.fuzz.example"
+
+ALL_CRAWLERS = [
+    lambda: sb_oracle(SBConfig(seed=1)),
+    lambda: sb_classifier(SBConfig(seed=1)),
+    BFSCrawler,
+    DFSCrawler,
+    lambda: RandomCrawler(seed=1),
+]
+
+
+def _page(url, links=(), kind=PageKind.HTML, **kwargs):
+    defaults = dict(mime_type="text/html", status=200, size=3000)
+    if kind is PageKind.TARGET:
+        defaults = dict(mime_type="text/csv", status=200, size=1000)
+    if kind is PageKind.ERROR:
+        defaults = dict(mime_type=None, status=404, size=100)
+    defaults.update(kwargs)
+    return Page(url=url, kind=kind, links=list(links), **defaults)
+
+
+def _graph(pages):
+    graph = WebsiteGraph(f"{BASE}/", name="fuzz")
+    for page in pages:
+        graph.add_page(page)
+    return graph
+
+
+def _link(url, path="html body div.c ul li a"):
+    return Link(url=url, tag_path=path, anchor="x")
+
+
+# -- hand-crafted pathologies -------------------------------------------
+
+def _crawl_all(graph):
+    env = CrawlEnvironment(graph)
+    results = []
+    for factory in ALL_CRAWLERS:
+        results.append(factory().crawl(env))
+    return env, results
+
+
+def test_redirect_loop_terminates():
+    graph = _graph([
+        _page(f"{BASE}/", [_link(f"{BASE}/a")]),
+        _page(f"{BASE}/a", kind=PageKind.REDIRECT, status=301,
+              redirect_to=f"{BASE}/b", mime_type=None),
+        _page(f"{BASE}/b", kind=PageKind.REDIRECT, status=301,
+              redirect_to=f"{BASE}/a", mime_type=None),
+    ])
+    env, results = _crawl_all(graph)
+    for result in results:
+        assert result.n_requests < 50
+
+
+def test_self_redirect_terminates():
+    graph = _graph([
+        _page(f"{BASE}/", [_link(f"{BASE}/self")]),
+        _page(f"{BASE}/self", kind=PageKind.REDIRECT, status=302,
+              redirect_to=f"{BASE}/self", mime_type=None),
+    ])
+    _, results = _crawl_all(graph)
+    for result in results:
+        assert result.n_requests < 50
+
+
+def test_self_link_cycle():
+    graph = _graph([
+        _page(f"{BASE}/", [_link(f"{BASE}/"), _link(f"{BASE}/t")]),
+        _page(f"{BASE}/t", kind=PageKind.TARGET),
+    ])
+    _, results = _crawl_all(graph)
+    for result in results:
+        assert result.targets == {f"{BASE}/t"}
+
+
+def test_two_cycle_with_targets():
+    graph = _graph([
+        _page(f"{BASE}/", [_link(f"{BASE}/a")]),
+        _page(f"{BASE}/a", [_link(f"{BASE}/b"), _link(f"{BASE}/t1")]),
+        _page(f"{BASE}/b", [_link(f"{BASE}/a"), _link(f"{BASE}/t2")]),
+        _page(f"{BASE}/t1", kind=PageKind.TARGET),
+        _page(f"{BASE}/t2", kind=PageKind.TARGET),
+    ])
+    _, results = _crawl_all(graph)
+    for result in results:
+        assert result.targets == {f"{BASE}/t1", f"{BASE}/t2"}
+
+
+def test_redirect_to_target():
+    graph = _graph([
+        _page(f"{BASE}/", [_link(f"{BASE}/alias")]),
+        _page(f"{BASE}/alias", kind=PageKind.REDIRECT, status=301,
+              redirect_to=f"{BASE}/t", mime_type=None),
+        _page(f"{BASE}/t", kind=PageKind.TARGET),
+    ])
+    _, results = _crawl_all(graph)
+    for result in results:
+        assert f"{BASE}/t" in result.targets
+
+
+def test_redirect_offsite_ignored():
+    graph = _graph([
+        _page(f"{BASE}/", [_link(f"{BASE}/out")]),
+        _page(f"{BASE}/out", kind=PageKind.REDIRECT, status=301,
+              redirect_to="https://other.example/x", mime_type=None),
+    ])
+    _, results = _crawl_all(graph)
+    for result in results:
+        for record in result.trace.records:
+            assert record.url.startswith(BASE)
+
+
+def test_root_is_error_page():
+    graph = _graph([
+        _page(f"{BASE}/", kind=PageKind.ERROR, status=500),
+    ])
+    _, results = _crawl_all(graph)
+    for result in results:
+        assert result.n_targets == 0
+
+
+def test_page_with_hundreds_of_duplicate_links():
+    links = [_link(f"{BASE}/t")] * 300
+    graph = _graph([
+        _page(f"{BASE}/", links),
+        _page(f"{BASE}/t", kind=PageKind.TARGET),
+    ])
+    _, results = _crawl_all(graph)
+    for result in results:
+        # The duplicate links cost at most one fetch.
+        assert result.n_requests < 20
+
+
+def test_long_redirect_chain_capped():
+    pages = [_page(f"{BASE}/", [_link(f"{BASE}/r0")])]
+    for i in range(60):
+        pages.append(
+            _page(f"{BASE}/r{i}", kind=PageKind.REDIRECT, status=301,
+                  redirect_to=f"{BASE}/r{i + 1}", mime_type=None)
+        )
+    pages.append(_page(f"{BASE}/r60", kind=PageKind.TARGET))
+    graph = _graph(pages)
+    _, results = _crawl_all(graph)
+    for result in results:
+        assert result.n_requests < 200  # chain capped, no infinite loop
+
+
+# -- random-graph property test ---------------------------------------------
+
+@st.composite
+def random_graphs(draw):
+    n_pages = draw(st.integers(2, 14))
+    kinds = [PageKind.HTML]  # root must be HTML
+    for _ in range(n_pages - 1):
+        kinds.append(
+            draw(
+                st.sampled_from(
+                    [PageKind.HTML, PageKind.HTML, PageKind.TARGET,
+                     PageKind.ERROR, PageKind.REDIRECT]
+                )
+            )
+        )
+    urls = [f"{BASE}/"] + [f"{BASE}/p{i}" for i in range(1, n_pages)]
+    pages = []
+    for index, (url, kind) in enumerate(zip(urls, kinds)):
+        if kind is PageKind.REDIRECT:
+            destination = urls[draw(st.integers(0, n_pages - 1))]
+            pages.append(
+                _page(url, kind=kind, status=301, redirect_to=destination,
+                      mime_type=None)
+            )
+            continue
+        links = []
+        if kind is PageKind.HTML:
+            n_links = draw(st.integers(0, 5))
+            for _ in range(n_links):
+                links.append(_link(urls[draw(st.integers(0, n_pages - 1))]))
+        pages.append(_page(url, links, kind=kind))
+    return _graph(pages)
+
+
+@given(random_graphs(), st.sampled_from(["sb-oracle", "sb-classifier", "bfs"]))
+@settings(max_examples=60, deadline=None)
+def test_random_graph_invariants(graph, crawler_name):
+    factories = {
+        "sb-oracle": lambda: sb_oracle(SBConfig(seed=1)),
+        "sb-classifier": lambda: sb_classifier(SBConfig(seed=1)),
+        "bfs": BFSCrawler,
+    }
+    env = CrawlEnvironment(graph)
+    result = factories[crawler_name]().crawl(env)
+    # Termination is implied by returning at all; invariants:
+    get_urls = [r.url for r in result.trace.records if r.method == "GET"]
+    assert len(get_urls) == len(set(get_urls))          # never refetch
+    assert result.targets <= env.target_urls()          # no phantom targets
+    reachable = set(graph.depths())
+    assert result.targets <= reachable
+    # Bounded effort: at most one GET per node plus redirect slack,
+    # plus HEADs for the classifier variant.
+    assert len(get_urls) <= len(graph) + 30

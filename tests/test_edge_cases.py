@@ -1,0 +1,152 @@
+"""Edge-case and failure-injection tests across modules."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import requests_to_fraction
+from repro.analysis.trace import CrawlRecord, CrawlTrace
+from repro.baselines import BFSCrawler, DFSCrawler, RandomCrawler
+from repro.core.crawler import SBConfig, sb_classifier, sb_oracle
+from repro.experiments.report import render_pairs_table
+from repro.http.environment import CrawlEnvironment
+from repro.webgraph.generator import SiteProfile, generate_site
+from tests.conftest import make_profile
+
+
+# -- tiny and degenerate sites ---------------------------------------------
+
+def test_minimal_site_generates():
+    graph = generate_site(make_profile(name="mini", n_pages=40, n_sections=2))
+    assert graph.validate() == []
+    assert len(graph.target_pages()) >= 1
+
+
+def test_single_language_single_section():
+    graph = generate_site(
+        make_profile(name="mono", n_pages=60, n_sections=1,
+                     languages=("en",))
+    )
+    assert graph.validate() == []
+
+
+def test_extreme_density_site():
+    graph = generate_site(
+        make_profile(name="dense", n_pages=120, target_fraction=0.8,
+                     html_to_target_pct=40.0)
+    )
+    stats = graph.statistics()
+    assert stats.target_density > 0.6
+    env = CrawlEnvironment(graph)
+    result = sb_oracle(SBConfig(seed=1)).crawl(env)
+    assert result.targets == env.target_urls()
+
+
+def test_near_zero_density_site():
+    graph = generate_site(
+        make_profile(name="sparse", n_pages=150, target_fraction=0.01,
+                     html_to_target_pct=1.0)
+    )
+    env = CrawlEnvironment(graph)
+    result = sb_classifier(SBConfig(seed=1)).crawl(env)
+    assert result.targets == env.target_urls()
+
+
+# -- budgets --------------------------------------------------------------
+
+def test_budget_zero(small_env):
+    for crawler in (sb_oracle(SBConfig(seed=1)), BFSCrawler()):
+        result = crawler.crawl(small_env, budget=0)
+        assert result.n_requests <= 2  # at most robots + in-flight check
+
+
+def test_budget_one(small_env):
+    result = sb_oracle(SBConfig(seed=1)).crawl(small_env, budget=1)
+    assert result.n_requests <= 3
+
+
+@pytest.mark.parametrize("factory", [BFSCrawler, DFSCrawler,
+                                     lambda: RandomCrawler(seed=0)])
+def test_baseline_volume_budget(small_env, factory):
+    budget = 500_000.0
+    result = factory().crawl(small_env, budget=budget, cost_model="volume")
+    full = factory().crawl(small_env)
+    assert result.trace.total_bytes <= full.trace.total_bytes
+    # The budget bounds the volume up to one in-flight response.
+    assert result.trace.total_bytes <= budget + 300_000
+
+
+def test_budget_larger_than_site(small_env):
+    result = sb_oracle(SBConfig(seed=1)).crawl(small_env, budget=10**9)
+    assert result.targets == small_env.target_urls()
+
+
+# -- metric edge cases ---------------------------------------------------------
+
+def test_requests_to_fraction_full_fraction():
+    trace = CrawlTrace()
+    for i in range(4):
+        trace.append(CrawlRecord("GET", f"t{i}", 200, 1, True))
+    assert requests_to_fraction(trace, 4, 10, fraction=1.0) == 40.0
+
+
+def test_requests_to_fraction_single_target():
+    trace = CrawlTrace()
+    trace.append(CrawlRecord("GET", "t", 200, 1, True))
+    assert requests_to_fraction(trace, 1, 4) == 25.0
+
+
+def test_render_pairs_table_handles_none():
+    text = render_pairs_table(
+        "T", ["a"], [("row", [(None, math.inf)])]
+    )
+    assert "NA" in text and "+inf" in text
+
+
+# -- environment edge cases --------------------------------------------------
+
+def test_empty_target_mime_set(small_site):
+    env = CrawlEnvironment(small_site, target_mimes=frozenset())
+    assert env.total_targets() == 0
+    result = sb_oracle(SBConfig(seed=1)).crawl(env)
+    assert result.targets == set()
+
+
+def test_scaled_profile_minimum_size():
+    profile = make_profile()
+    tiny = profile.scaled(0.0001)
+    graph = generate_site(tiny)
+    assert len(graph) >= 20
+
+
+def test_crawl_same_env_repeatedly(small_env):
+    """Environments are reusable: repeated crawls are independent."""
+    first = sb_oracle(SBConfig(seed=1)).crawl(small_env)
+    second = sb_oracle(SBConfig(seed=1)).crawl(small_env)
+    assert first.n_requests == second.n_requests
+    assert first.targets == second.targets
+
+
+def test_crawler_handles_unknown_in_site_links():
+    """Dangling in-site links (404s at fetch time) must not crash."""
+    from repro.webgraph.model import Link, Page, PageKind, WebsiteGraph
+
+    graph = WebsiteGraph("https://www.d.example/", name="dangle")
+    graph.add_page(
+        Page(
+            url="https://www.d.example/",
+            kind=PageKind.HTML,
+            size=2000,
+            links=[
+                Link("https://www.d.example/ghost", "html body div a"),
+                Link("https://www.d.example/t.csv", "html body ul li a"),
+            ],
+        )
+    )
+    graph.add_page(
+        Page(url="https://www.d.example/t.csv", kind=PageKind.TARGET,
+             mime_type="text/csv", size=100)
+    )
+    env = CrawlEnvironment(graph)
+    result = sb_classifier(SBConfig(seed=1)).crawl(env)
+    assert "https://www.d.example/t.csv" in result.targets

@@ -1,0 +1,64 @@
+"""Tests for report rendering helpers and misc result objects."""
+
+import math
+
+from repro.experiments.report import (
+    ascii_curve,
+    fmt_cell,
+    render_pairs_table,
+    render_table,
+)
+
+
+def test_fmt_cell_variants():
+    assert fmt_cell(3.14159, digits=2).strip() == "3.14"
+    assert fmt_cell(None, width=4) == "  NA"
+    assert fmt_cell(math.inf).strip() == "+inf"
+    assert len(fmt_cell(1.0, width=10)) == 10
+
+
+def test_render_table_alignment():
+    text = render_table(
+        "Title", ["col-a", "col-b"],
+        [("row-one", [1.0, 2.0]), ("a-very-long-row-label-beyond", [3.0, None])],
+        label_width=12,
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    # All data rows have the same width.
+    data = [l for l in lines if l.startswith(("row", "a-ve"))]
+    assert len({len(l) for l in data}) == 1
+    assert "NA" in text
+
+
+def test_render_pairs_table():
+    text = render_pairs_table(
+        "Pairs", ["s1"], [("cfg", [(12.3, 45.6)])]
+    )
+    assert "12.3" in text and "45.6" in text and "|" in text
+
+
+def test_ascii_curve_monotone_render():
+    plot = ascii_curve([0, 1, 2, 3], [0, 1, 2, 3], width=20, height=5)
+    assert plot.count("*") >= 3
+    assert "x_max=3" in plot
+
+
+def test_ascii_curve_flat_series():
+    plot = ascii_curve([1, 2, 3], [0, 0, 0], title="flat")
+    assert "flat" in plot
+
+
+def test_crawl_result_properties(small_env):
+    from repro.baselines import BFSCrawler
+
+    result = BFSCrawler().crawl(small_env, budget=30)
+    assert result.n_requests == len(result.trace.records)
+    assert result.n_targets == len(result.targets)
+
+
+def test_site_statistics_as_row(small_site):
+    row = small_site.statistics().as_row()
+    assert row["#Available"] > 0
+    assert 0 < row["Density (%)"] < 100
+    assert "Target Depth Mean" in row

@@ -1,0 +1,92 @@
+"""Tests for the local replication database (Sec. 4.4 infrastructure)."""
+
+import pytest
+
+from repro.http.cache import PageStore, ReplicatingFetcher, replicate_site
+from repro.http.messages import Response
+from repro.http.server import SimulatedServer
+
+
+def test_put_get_round_trip(tmp_path):
+    with PageStore(tmp_path / "store.db") as store:
+        response = Response(
+            url="https://x.example/a",
+            method="GET",
+            status=200,
+            mime_type="text/html",
+            size=42,
+            body="<html>hello</html>",
+        )
+        store.put(response)
+        loaded = store.get("https://x.example/a")
+        assert loaded is not None
+        assert loaded.body == response.body
+        assert loaded.status == 200
+        assert loaded.size == 42
+        assert "https://x.example/a" in store
+        assert len(store) == 1
+
+
+def test_get_missing_returns_none():
+    with PageStore() as store:
+        assert store.get("https://x.example/missing") is None
+
+
+def test_get_and_head_stored_separately():
+    with PageStore() as store:
+        store.put(Response(url="u", method="GET", status=200, size=10))
+        store.put(Response(url="u", method="HEAD", status=200, size=1))
+        assert store.get("u", "GET").size == 10
+        assert store.get("u", "HEAD").size == 1
+        assert len(store) == 1  # one distinct URL
+
+
+def test_put_overwrites():
+    with PageStore() as store:
+        store.put(Response(url="u", method="GET", status=200, size=10))
+        store.put(Response(url="u", method="GET", status=404, size=5))
+        assert store.get("u").status == 404
+
+
+def test_semi_online_fetches_once(small_site):
+    server = SimulatedServer(small_site)
+    with PageStore() as store:
+        fetcher = ReplicatingFetcher(server, store, mode="semi-online")
+        first = fetcher.get(small_site.root_url)
+        second = fetcher.get(small_site.root_url)
+        assert fetcher.n_live_fetches == 1
+        assert first.body == second.body
+
+
+def test_local_mode_never_fetches(small_site):
+    server = SimulatedServer(small_site)
+    with PageStore() as store:
+        fetcher = ReplicatingFetcher(server, store, mode="local")
+        response = fetcher.get(small_site.root_url)
+        assert response.status == 404
+        assert fetcher.n_live_fetches == 0
+
+
+def test_invalid_mode_rejected(small_site):
+    with PageStore() as store:
+        with pytest.raises(ValueError):
+            ReplicatingFetcher(SimulatedServer(small_site), store, mode="bogus")
+
+
+def test_replicate_site_then_local_serves_everything(small_site):
+    server = SimulatedServer(small_site)
+    with PageStore() as store:
+        count = replicate_site(server, store)
+        assert count == len(small_site)
+        fetcher = ReplicatingFetcher(server, store, mode="local")
+        response = fetcher.get(small_site.root_url)
+        assert response.ok and response.body
+        assert fetcher.n_live_fetches == 0
+
+
+def test_persistence_across_connections(tmp_path):
+    path = tmp_path / "persist.db"
+    with PageStore(path) as store:
+        store.put(Response(url="u", method="GET", status=200, size=3, body="abc"))
+    with PageStore(path) as store:
+        assert store.get("u").body == "abc"

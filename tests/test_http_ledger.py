@@ -1,0 +1,40 @@
+"""Tests for cost accounting."""
+
+import pytest
+
+from repro.http.ledger import CostLedger
+
+
+def test_record_and_totals():
+    ledger = CostLedger()
+    ledger.record("GET", 1000, is_target=False)
+    ledger.record("GET", 5000, is_target=True)
+    ledger.record("HEAD", 280, is_target=False)
+    assert ledger.n_requests == 3
+    assert ledger.n_get == 2
+    assert ledger.n_head == 1
+    assert ledger.bytes_total == 6280
+    assert ledger.bytes_target == 5000
+    assert ledger.bytes_non_target == 1280
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError):
+        CostLedger().record("POST", 10, False)
+
+
+def test_estimated_seconds_politeness_dominated():
+    ledger = CostLedger()
+    for _ in range(100):
+        ledger.record("GET", 10_000, False)
+    # 100 requests at 1 s politeness + 1 MB at 10 MB/s = 100.1 s
+    assert abs(ledger.estimated_seconds() - 100.1) < 1e-6
+
+
+def test_snapshot_is_independent():
+    ledger = CostLedger()
+    ledger.record("GET", 10, False)
+    snap = ledger.snapshot()
+    ledger.record("GET", 10, False)
+    assert snap.n_get == 1
+    assert ledger.n_get == 2

@@ -1,0 +1,39 @@
+"""Tests for HTTP message helpers."""
+
+from repro.http.messages import (
+    HEAD_RESPONSE_SIZE,
+    INTERRUPTED_RESPONSE_SIZE,
+    Response,
+)
+
+
+def test_status_categories():
+    assert Response(url="u", method="GET", status=200).ok
+    assert Response(url="u", method="GET", status=204).ok
+    assert Response(url="u", method="GET", status=301).is_redirect
+    assert Response(url="u", method="GET", status=307).is_redirect
+    assert Response(url="u", method="GET", status=404).is_error
+    assert Response(url="u", method="GET", status=503).is_error
+    assert not Response(url="u", method="GET", status=301).ok
+
+
+def test_mime_root_strips_parameters():
+    response = Response(
+        url="u", method="GET", status=200,
+        mime_type="Text/HTML; charset=UTF-8",
+    )
+    assert response.mime_root() == "text/html"
+    assert Response(url="u", method="GET", status=200).mime_root() is None
+
+
+def test_size_constants_are_small():
+    assert HEAD_RESPONSE_SIZE < 1000
+    assert INTERRUPTED_RESPONSE_SIZE < 5000
+
+
+def test_default_fields():
+    response = Response(url="u", method="HEAD", status=200)
+    assert response.body == ""
+    assert response.headers == {}
+    assert response.redirect_to is None
+    assert not response.interrupted

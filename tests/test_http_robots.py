@@ -1,0 +1,147 @@
+"""Tests for robots.txt parsing, spider traps and polite crawling."""
+
+import pytest
+
+from repro.core.crawler import SBConfig, sb_classifier, sb_oracle
+from repro.http.environment import CrawlEnvironment
+from repro.http.robots import (
+    RobotsPolicy,
+    fetch_robots_policy,
+    parse_robots_txt,
+    parse_sitemap,
+)
+from repro.baselines import BFSCrawler, DFSCrawler
+from repro.webgraph.generator import generate_site
+from tests.conftest import make_profile
+
+SAMPLE = """
+# comments are ignored
+User-agent: *
+Disallow: /internal/
+Disallow: /tmp
+Allow: /internal/public/
+Crawl-delay: 2
+
+User-agent: badbot
+Disallow: /
+
+Sitemap: https://www.x.example/sitemap.xml
+"""
+
+
+def test_parse_basic_rules():
+    policy = parse_robots_txt(SAMPLE)
+    assert not policy.allowed("https://www.x.example/internal/search?x=1")
+    assert not policy.allowed("https://www.x.example/tmp/file")
+    assert policy.allowed("https://www.x.example/data/file.csv")
+    assert policy.crawl_delay == 2.0
+    assert policy.sitemaps == ["https://www.x.example/sitemap.xml"]
+
+
+def test_allow_overrides_shorter_disallow():
+    policy = parse_robots_txt(SAMPLE)
+    assert policy.allowed("https://www.x.example/internal/public/doc")
+
+
+def test_specific_agent_group():
+    policy = parse_robots_txt(SAMPLE, user_agent="badbot")
+    assert not policy.allowed("https://www.x.example/anything")
+
+
+def test_multiple_agents_share_group():
+    text = "User-agent: a\nUser-agent: b\nDisallow: /x/\n"
+    for agent in ("a", "b"):
+        policy = parse_robots_txt(text, user_agent=agent)
+        assert not policy.allowed("https://s.example/x/page")
+
+
+def test_empty_robots_allows_everything():
+    policy = parse_robots_txt("")
+    assert policy.allowed("https://s.example/anything")
+
+
+def test_query_string_included_in_path_match():
+    policy = parse_robots_txt("User-agent: *\nDisallow: /search?\n")
+    assert not policy.allowed("https://s.example/search?q=x")
+    assert policy.allowed("https://s.example/search-tips")
+
+
+def test_parse_sitemap():
+    xml = (
+        '<?xml version="1.0"?><urlset>'
+        "<url><loc>https://s.example/a</loc></url>"
+        "<url><loc> https://s.example/b </loc></url>"
+        "</urlset>"
+    )
+    assert parse_sitemap(xml) == ["https://s.example/a", "https://s.example/b"]
+    assert parse_sitemap("no xml here") == []
+
+
+# -- server integration -----------------------------------------------------
+
+@pytest.fixture(scope="module")
+def trap_env():
+    graph = generate_site(
+        make_profile(name="trapsite", n_pages=200, trap_pages=40)
+    )
+    return CrawlEnvironment(graph)
+
+
+def test_server_serves_robots_and_sitemap(trap_env):
+    client = trap_env.new_client()
+    robots = client.get(trap_env.root_url.rstrip("/") + "/robots.txt")
+    assert robots.ok
+    assert "Disallow: /internal/" in robots.body
+    assert not client.trace.records[-1].is_target
+    sitemap = client.get(trap_env.root_url.rstrip("/") + "/sitemap.xml")
+    assert sitemap.ok
+    urls = parse_sitemap(sitemap.body)
+    assert trap_env.root_url in urls
+    assert not client.trace.records[-1].is_target
+
+
+def test_fetch_robots_policy_missing_file(small_env):
+    # small_env has robots (default); build one without.
+    graph = generate_site(
+        make_profile(name="norobots", n_pages=120, with_robots=False)
+    )
+    env = CrawlEnvironment(graph)
+    client = env.new_client()
+    policy = fetch_robots_policy(client, env.root_url)
+    assert policy.allowed("https://www.testsite.example/anything")
+
+
+def test_polite_sb_skips_trap(trap_env):
+    result = sb_oracle(SBConfig(seed=1)).crawl(trap_env)
+    trap_fetches = [
+        r for r in result.trace.records if "/internal/search" in r.url
+    ]
+    assert trap_fetches == []
+    assert result.targets == trap_env.target_urls()
+
+
+def test_impolite_dfs_falls_into_trap(trap_env):
+    """The paper: DFS 'may fall into robot traps'."""
+
+    class ImpoliteDFS(DFSCrawler):
+        respect_robots = False
+
+    result = ImpoliteDFS().crawl(trap_env)
+    trap_fetches = [
+        r for r in result.trace.records if "/internal/search" in r.url
+    ]
+    assert len(trap_fetches) >= 40  # crawled the whole trap chain
+
+
+def test_polite_bfs_skips_trap(trap_env):
+    result = BFSCrawler().crawl(trap_env)
+    assert not [r for r in result.trace.records if "/internal/search" in r.url]
+    assert result.targets == trap_env.target_urls()
+
+
+def test_sb_robots_can_be_disabled(trap_env):
+    result = sb_oracle(SBConfig(seed=1, respect_robots=False)).crawl(trap_env)
+    trap_fetches = [
+        r for r in result.trace.records if "/internal/search" in r.url
+    ]
+    assert trap_fetches  # wasted requests in the trap

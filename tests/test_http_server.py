@@ -1,0 +1,87 @@
+"""Tests for the simulated HTTP server."""
+
+from repro.http.messages import HEAD_RESPONSE_SIZE, INTERRUPTED_RESPONSE_SIZE
+from repro.http.server import SimulatedServer
+from repro.webgraph.model import PageKind
+
+
+def _first(graph, kind):
+    for page in graph.pages():
+        if page.kind is kind:
+            return page
+    raise AssertionError(f"no page of kind {kind}")
+
+
+def test_get_html_returns_body(small_site):
+    server = SimulatedServer(small_site)
+    response = server.get(small_site.root_url)
+    assert response.ok
+    assert response.mime_root() == "text/html"
+    assert response.body.startswith("<!DOCTYPE html>")
+    assert response.size == len(response.body)
+
+
+def test_get_target_returns_size_without_body(small_site):
+    server = SimulatedServer(small_site)
+    target = _first(small_site, PageKind.TARGET)
+    response = server.get(target.url)
+    assert response.ok
+    assert response.mime_root() == target.mime_type
+    assert response.size == target.size
+    assert response.body == ""
+
+
+def test_get_error_page(small_site):
+    server = SimulatedServer(small_site)
+    error = _first(small_site, PageKind.ERROR)
+    response = server.get(error.url)
+    assert response.is_error
+    assert response.status == error.status
+
+
+def test_get_redirect_is_not_followed(small_site):
+    server = SimulatedServer(small_site)
+    redirect = _first(small_site, PageKind.REDIRECT)
+    response = server.get(redirect.url)
+    assert response.is_redirect
+    assert response.redirect_to == redirect.redirect_to
+    assert response.headers["Location"] == redirect.redirect_to
+
+
+def test_get_unknown_url_is_404(small_site):
+    server = SimulatedServer(small_site)
+    response = server.get(small_site.root_url + "does-not-exist")
+    assert response.status == 404
+
+
+def test_media_transfer_interrupted(small_site):
+    server = SimulatedServer(small_site)
+    media = _first(small_site, PageKind.OTHER)
+    response = server.get(media.url)
+    assert response.interrupted
+    assert response.size == INTERRUPTED_RESPONSE_SIZE
+    full = server.get(media.url, blocklist_mime=False)
+    assert not full.interrupted
+    assert full.size == media.size
+
+
+def test_head_is_cheap_and_truthful(small_site):
+    server = SimulatedServer(small_site)
+    target = _first(small_site, PageKind.TARGET)
+    head = server.head(target.url)
+    assert head.ok
+    assert head.size == HEAD_RESPONSE_SIZE
+    assert head.mime_root() == target.mime_type
+    assert head.headers["Content-Length"] == str(target.size)
+
+
+def test_head_unknown_url(small_site):
+    server = SimulatedServer(small_site)
+    assert server.head(small_site.root_url + "nope").status == 404
+
+
+def test_render_cache_consistency(small_site):
+    server = SimulatedServer(small_site)
+    a = server.get(small_site.root_url).body
+    b = server.get(small_site.root_url).body
+    assert a is b  # cached render

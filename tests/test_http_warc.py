@@ -1,0 +1,76 @@
+"""Tests for the WARC-style archival format."""
+
+import pytest
+
+from repro.http.messages import Response
+from repro.http.warc import WarcWriter, archive_crawl, read_warc
+
+
+def _response(url="https://s.example/a", body="<html>hi</html>", status=200,
+              mime="text/html"):
+    return Response(url=url, method="GET", status=status, mime_type=mime,
+                    size=len(body), body=body)
+
+
+def test_write_read_round_trip(tmp_path):
+    path = tmp_path / "crawl.warc"
+    with WarcWriter(path) as writer:
+        writer.write_response(_response())
+        writer.write_response(
+            _response(url="https://s.example/b", body="other content")
+        )
+    records = list(read_warc(path))
+    assert len(records) == 2
+    assert records[0].url == "https://s.example/a"
+    assert records[0].payload == "<html>hi</html>"
+    assert records[1].payload == "other content"
+    assert records[0].record_id != records[1].record_id
+
+
+def test_payload_with_blank_lines_and_unicode(tmp_path):
+    body = "line one\n\nWARC/1.1 looks like a header\n\n\nliné unicode é"
+    path = tmp_path / "tricky.warc"
+    with WarcWriter(path) as writer:
+        writer.write_response(_response(body=body))
+        writer.write_response(_response(url="https://s.example/x", body="tail"))
+    records = list(read_warc(path))
+    assert records[0].payload == body
+    assert records[1].payload == "tail"
+
+
+def test_empty_payload(tmp_path):
+    path = tmp_path / "empty.warc"
+    with WarcWriter(path) as writer:
+        writer.write_response(_response(body="", mime="application/pdf"))
+    [record] = read_warc(path)
+    assert record.payload == ""
+    assert record.mime_type == "application/pdf"
+
+
+def test_digest_verified(tmp_path):
+    path = tmp_path / "tampered.warc"
+    with WarcWriter(path) as writer:
+        writer.write_response(_response(body="original"))
+    text = path.read_text().replace("original", "tampered")
+    path.write_text(text)
+    with pytest.raises(ValueError, match="digest"):
+        list(read_warc(path))
+
+
+def test_append_mode(tmp_path):
+    path = tmp_path / "append.warc"
+    with WarcWriter(path) as writer:
+        writer.write_response(_response())
+    with WarcWriter(path) as writer:
+        writer.write_response(_response(url="https://s.example/b"))
+    assert len(list(read_warc(path))) == 2
+
+
+def test_archive_crawl(tmp_path, small_env):
+    urls = [small_env.root_url] + sorted(small_env.graph.urls())[:10]
+    path = tmp_path / "site.warc"
+    count = archive_crawl(small_env.server, urls, path)
+    assert count == len(urls)
+    records = list(read_warc(path))
+    assert [r.url for r in records] == urls
+    assert records[0].status == 200

@@ -1,0 +1,80 @@
+"""Cross-module integration tests: the paper's headline qualitative
+claims must hold on the synthetic replicas."""
+
+import pytest
+
+from repro.analysis.metrics import auc_targets_per_request, requests_to_fraction
+from repro.baselines import BFSCrawler, OmniscientCrawler, RandomCrawler
+from repro.core.crawler import SBConfig, sb_classifier, sb_oracle
+from repro.http.environment import CrawlEnvironment
+from repro.webgraph.sites import load_paper_site
+
+
+@pytest.fixture(scope="module")
+def ju_env():
+    """The deep data-portal site at reduced scale."""
+    return CrawlEnvironment(load_paper_site("ju", scale=0.4))
+
+
+def test_sb_beats_bfs_and_random_on_deep_site(ju_env):
+    total = ju_env.total_targets()
+    avail = ju_env.n_available()
+    sb = sb_oracle(SBConfig(seed=1)).crawl(ju_env)
+    bfs = BFSCrawler().crawl(ju_env)
+    rnd = RandomCrawler(seed=1).crawl(ju_env)
+    sb_metric = requests_to_fraction(sb.trace, total, avail)
+    bfs_metric = requests_to_fraction(bfs.trace, total, avail)
+    rnd_metric = requests_to_fraction(rnd.trace, total, avail)
+    assert sb_metric < bfs_metric
+    assert sb_metric < rnd_metric
+
+
+def test_sb_classifier_close_to_oracle(ju_env):
+    total = ju_env.total_targets()
+    avail = ju_env.n_available()
+    oracle = sb_oracle(SBConfig(seed=1)).crawl(ju_env)
+    classifier = sb_classifier(SBConfig(seed=1)).crawl(ju_env)
+    m_oracle = requests_to_fraction(oracle.trace, total, avail)
+    m_classifier = requests_to_fraction(classifier.trace, total, avail)
+    # The paper: "our classifier is close to the (virtual) perfect oracle".
+    assert m_classifier < 2.0 * m_oracle
+
+
+def test_omniscient_is_unbeatable(ju_env):
+    total = ju_env.total_targets()
+    avail = ju_env.n_available()
+    omniscient = OmniscientCrawler().crawl(ju_env)
+    sb = sb_oracle(SBConfig(seed=1)).crawl(ju_env)
+    assert requests_to_fraction(omniscient.trace, total, avail) <= (
+        requests_to_fraction(sb.trace, total, avail)
+    )
+
+
+def test_auc_ordering(ju_env):
+    total = ju_env.total_targets()
+    sb = sb_oracle(SBConfig(seed=1)).crawl(ju_env)
+    bfs = BFSCrawler().crawl(ju_env)
+    assert auc_targets_per_request(sb.trace, total) > auc_targets_per_request(
+        bfs.trace, total
+    )
+
+
+def test_rewards_heavy_tailed(ju_env):
+    result = sb_classifier(SBConfig(seed=1)).crawl(ju_env)
+    top10 = result.info["top10_rewards"]
+    mean = result.info["reward_mean_nonzero"]
+    # Figure 5 / Table 6 shape: top groups far above the overall mean.
+    assert top10[0] > mean
+
+
+def test_all_crawlers_agree_on_target_set(ju_env):
+    """Exhaustive crawls must converge to the same target set."""
+    sb = sb_oracle(SBConfig(seed=2)).crawl(ju_env)
+    bfs = BFSCrawler().crawl(ju_env)
+    assert sb.targets == bfs.targets == ju_env.target_urls()
+
+
+def test_theta_extreme_creates_more_actions(ju_env):
+    few = sb_oracle(SBConfig(seed=1, theta=0.3)).crawl(ju_env)
+    many = sb_oracle(SBConfig(seed=1, theta=0.97)).crawl(ju_env)
+    assert many.info["n_actions"] > few.info["n_actions"]

@@ -1,0 +1,59 @@
+"""Volume-cost-model integration tests (the paper's second cost
+function ω, Sec. 2.2 / Table 3)."""
+
+import pytest
+
+from repro.analysis.metrics import non_target_volume_fraction, site_non_target_bytes
+from repro.baselines import BFSCrawler
+from repro.core.crawler import SBConfig, sb_oracle
+from repro.http.environment import CrawlEnvironment
+from repro.webgraph.sites import load_paper_site
+
+
+@pytest.fixture(scope="module")
+def wo_env():
+    return CrawlEnvironment(load_paper_site("wo", scale=0.35))
+
+
+def test_sb_beats_bfs_on_volume_metric(wo_env):
+    total_target = wo_env.total_target_bytes()
+    total_non_target = site_non_target_bytes(wo_env.graph)
+    sb = sb_oracle(SBConfig(seed=1)).crawl(wo_env)
+    bfs = BFSCrawler().crawl(wo_env)
+    sb_metric = non_target_volume_fraction(sb.trace, total_target, total_non_target)
+    bfs_metric = non_target_volume_fraction(bfs.trace, total_target, total_non_target)
+    assert sb_metric < bfs_metric
+
+
+def test_volume_budget_stops_before_request_budget(wo_env):
+    """A tight byte budget cuts the crawl long before the site ends."""
+    full = sb_oracle(SBConfig(seed=1)).crawl(wo_env)
+    budget = full.trace.total_bytes / 10
+    capped = sb_oracle(SBConfig(seed=1)).crawl(
+        wo_env, budget=budget, cost_model="volume"
+    )
+    assert capped.n_requests < full.n_requests
+    # The budget is checked before each request; the crawl can overshoot
+    # by at most the in-flight response (sizes are only known on arrival).
+    largest_response = max(r.size for r in capped.trace.records)
+    assert capped.trace.total_bytes <= budget + largest_response
+
+
+def test_target_volume_dominates_for_sb(wo_env):
+    """SB downloads mostly target bytes; BFS mostly page bytes — within
+    an equal-request prefix of the crawl."""
+    sb = sb_oracle(SBConfig(seed=1)).crawl(wo_env)
+    bfs = BFSCrawler().crawl(wo_env)
+    horizon = min(sb.n_requests, bfs.n_requests) // 2
+    sb_prefix = sb.trace.truncated(horizon)
+    bfs_prefix = bfs.trace.truncated(horizon)
+    assert sb_prefix.target_bytes > bfs_prefix.target_bytes
+
+
+def test_ledger_matches_trace(wo_env):
+    result = sb_oracle(SBConfig(seed=2)).crawl(wo_env)
+    # The trace's byte totals must reconcile with the volume the ledger
+    # accumulated (both fed by the same client).
+    assert result.trace.total_bytes == (
+        result.trace.target_bytes + result.trace.non_target_bytes
+    )

@@ -1,0 +1,104 @@
+"""Tests for the online linear models."""
+
+import random
+
+import pytest
+
+from repro.ml.features import hashed_bow
+from repro.ml.linear import (
+    LinearSVMSGD,
+    LogisticRegressionSGD,
+    PassiveAggressiveClassifier,
+)
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+
+DIM = 1 << 12
+
+MODELS = [
+    lambda: LogisticRegressionSGD(DIM, seed=0),
+    lambda: LinearSVMSGD(DIM, seed=0),
+    lambda: PassiveAggressiveClassifier(DIM, seed=0),
+    lambda: MultinomialNaiveBayes(DIM),
+]
+
+
+def _separable_data(n=200, seed=0):
+    """URL-like strings: /files/*.csv are class 1, /pages/* class 0."""
+    rng = random.Random(seed)
+    data = []
+    for i in range(n):
+        if rng.random() < 0.5:
+            data.append((f"https://s.example/files/data-{i}.csv", 1))
+        else:
+            data.append((f"https://s.example/pages/article-{i}", 0))
+    return data
+
+
+@pytest.mark.parametrize("factory", MODELS)
+def test_learns_separable_urls(factory):
+    model = factory()
+    data = _separable_data()
+    train, test = data[:150], data[150:]
+    X = [hashed_bow(u, dim=DIM) for u, _ in train]
+    y = [label for _, label in train]
+    for start in range(0, len(X), 10):
+        model.partial_fit(X[start : start + 10], y[start : start + 10])
+    correct = sum(
+        1 for u, label in test if model.predict(hashed_bow(u, dim=DIM)) == label
+    )
+    assert correct / len(test) > 0.9, type(model).__name__
+
+
+@pytest.mark.parametrize("factory", MODELS)
+def test_partial_fit_length_mismatch(factory):
+    model = factory()
+    with pytest.raises(ValueError):
+        model.partial_fit([hashed_bow("x", dim=DIM)], [0, 1])
+
+
+def test_lr_predict_proba_in_range():
+    model = LogisticRegressionSGD(DIM, seed=0)
+    x = hashed_bow("anything", dim=DIM)
+    assert 0.0 <= model.predict_proba(x) <= 1.0
+    model.partial_fit([x] * 10, [1] * 10)
+    assert model.predict_proba(x) > 0.5
+
+
+def test_lr_dim_mismatch_rejected():
+    model = LogisticRegressionSGD(DIM)
+    with pytest.raises(ValueError):
+        model.decision_function(hashed_bow("x", dim=DIM * 2))
+
+
+def test_pa_skips_when_margin_satisfied():
+    model = PassiveAggressiveClassifier(DIM, seed=0)
+    x = hashed_bow("stable example", dim=DIM)
+    model.partial_fit([x] * 5, [1] * 5)
+    updates = model.n_updates
+    # Margin now satisfied: further identical examples cause no updates.
+    model.partial_fit([x] * 5, [1] * 5)
+    assert model.n_updates == updates
+
+
+def test_nb_incremental_counts():
+    model = MultinomialNaiveBayes(DIM)
+    x1 = hashed_bow("files csv data", dim=DIM)
+    x0 = hashed_bow("pages article news", dim=DIM)
+    model.partial_fit([x1, x0], [1, 0])
+    assert model.class_counts.tolist() == [1.0, 1.0]
+    model.partial_fit([x1], [1])
+    assert model.class_counts.tolist() == [1.0, 2.0]
+    assert model.predict(x1) == 1
+    assert model.predict(x0) == 0
+
+
+def test_nb_rejects_bad_labels():
+    model = MultinomialNaiveBayes(DIM)
+    with pytest.raises(ValueError):
+        model.partial_fit([hashed_bow("x", dim=DIM)], [2])
+
+
+def test_untrained_models_predict_something():
+    x = hashed_bow("x", dim=DIM)
+    for factory in MODELS:
+        assert factory().predict(x) in (0, 1)

@@ -1,0 +1,57 @@
+"""Tests for confusion matrices and MR (Table 5 / Tables 8-16 metrics)."""
+
+import pytest
+
+from repro.ml.metrics import ConfusionMatrix
+
+
+def test_update_and_percentages():
+    matrix = ConfusionMatrix()
+    for _ in range(6):
+        matrix.update("HTML", "HTML")
+    for _ in range(3):
+        matrix.update("Target", "Target")
+    matrix.update("Target", "HTML")
+    assert matrix.total == 10
+    assert matrix.percentage("HTML", "HTML") == 60.0
+    assert matrix.percentage("Target", "HTML") == 10.0
+    assert matrix.percentage("Neither", "HTML") == 0.0
+
+
+def test_mr_excludes_neither_rows():
+    matrix = ConfusionMatrix()
+    matrix.update("HTML", "HTML")
+    matrix.update("Target", "HTML")   # wrong
+    matrix.update("Neither", "HTML")  # excluded from MR by definition
+    assert matrix.misclassification_rate() == 50.0
+
+
+def test_mr_empty_matrix():
+    assert ConfusionMatrix().misclassification_rate() == 0.0
+
+
+def test_unknown_label_rejected():
+    with pytest.raises(ValueError):
+        ConfusionMatrix().update("HTML", "Bogus")
+
+
+def test_merged():
+    a = ConfusionMatrix()
+    a.update("HTML", "HTML")
+    b = ConfusionMatrix()
+    b.update("HTML", "Target")
+    merged = a.merged(b)
+    assert merged.total == 2
+    assert merged.count("HTML", "HTML") == 1
+    assert merged.count("HTML", "Target") == 1
+    # originals untouched
+    assert a.total == 1 and b.total == 1
+
+
+def test_as_rows_shape():
+    matrix = ConfusionMatrix()
+    matrix.update("HTML", "HTML")
+    rows = matrix.as_rows()
+    assert len(rows) == 3
+    assert all(len(r) == 3 for r in rows)
+    assert abs(sum(sum(r) for r in rows) - 100.0) < 1e-9

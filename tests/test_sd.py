@@ -1,0 +1,120 @@
+"""Tests for SD content generation and table detection (Table 7 path)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sd.content import SD_PROFILES, TargetContentGenerator
+from repro.sd.detector import count_statistic_tables, detect_tables
+
+MIMES = [
+    "text/csv",
+    "application/pdf",
+    "application/json",
+    "application/vnd.ms-excel",
+    "application/zip",
+    "text/comma-separated-values",
+    "application/msword",
+]
+
+
+def test_generation_deterministic():
+    generator = TargetContentGenerator("be", seed=0)
+    a = generator.generate("https://x.example/f1", "text/csv")
+    b = generator.generate("https://x.example/f1", "text/csv")
+    assert a.body == b.body
+    assert a.n_tables == b.n_tables
+
+
+def test_different_urls_differ():
+    generator = TargetContentGenerator("be", seed=0)
+    a = generator.generate("https://x.example/f1", "text/csv")
+    b = generator.generate("https://x.example/f2", "text/csv")
+    assert a.body != b.body
+
+
+@pytest.mark.parametrize("mime", MIMES)
+def test_detector_matches_generator(mime):
+    generator = TargetContentGenerator("nc", seed=3)
+    for i in range(40):
+        target = generator.generate(f"https://x.example/d{i}", mime)
+        detected = count_statistic_tables(target.body, target.mime_type)
+        assert detected == target.n_tables, (mime, i)
+
+
+def test_yield_tracks_profile():
+    generator = TargetContentGenerator("is", seed=1)  # 93% yield
+    hits = sum(
+        1
+        for i in range(300)
+        if generator.generate(f"https://x.example/{i}", "text/csv").n_tables > 0
+    )
+    assert 0.85 < hits / 300 < 1.0
+
+
+def test_low_yield_site():
+    generator = TargetContentGenerator("wh", seed=1)  # 40% yield
+    hits = sum(
+        1
+        for i in range(300)
+        if generator.generate(f"https://x.example/{i}", "application/pdf").n_tables
+        > 0
+    )
+    assert 0.28 < hits / 300 < 0.52
+
+
+def test_unknown_site_uses_default_profile():
+    generator = TargetContentGenerator("zz", seed=0)
+    assert generator.sd_yield == 0.60
+
+
+def test_detector_rejects_non_tables():
+    prose = "This is just text.\n\nMore text follows here."
+    assert count_statistic_tables(prose, "application/pdf") == 0
+    contacts = "name,email\nann,a@x.org\nbob,b@x.org\ncal,c@x.org"
+    # Non-numeric CSV: not a statistics table.
+    assert count_statistic_tables(contacts, "text/csv") == 0
+
+
+def test_detector_accepts_numeric_csv():
+    table = "year,births,deaths\n2001,5,7\n2002,6,8\n2003,4,9\n2004,3,2"
+    assert count_statistic_tables(table, "text/csv") == 1
+
+
+def test_detector_fixed_width():
+    table = (
+        "year  births  deaths\n"
+        "2001  5.0  7.1\n2002  6.2  8.3\n2003  4.4  9.5"
+    )
+    assert count_statistic_tables(table, "application/pdf") == 1
+
+
+def test_detector_json():
+    body = (
+        '{"datasets": [{"records": ['
+        '{"year": 1, "v": 2.0}, {"year": 2, "v": 3.0}, {"year": 3, "v": 4.0}'
+        "]}]}"
+    )
+    assert count_statistic_tables(body, "application/json") == 1
+    assert count_statistic_tables("not json", "application/json") == 0
+
+
+def test_detect_tables_returns_blocks():
+    table = "year,births\n2001,5\n2002,6\n2003,4"
+    blocks = detect_tables(table, "text/csv")
+    assert len(blocks) == 1
+    assert "2001" in blocks[0]
+
+
+def test_profiles_match_paper_table7():
+    assert SD_PROFILES["be"] == (82.0, 9.1)
+    assert SD_PROFILES["wh"] == (40.0, 1.4)
+    assert len(SD_PROFILES) == 7
+
+
+@given(st.sampled_from(MIMES), st.integers(0, 500))
+@settings(max_examples=60, deadline=None)
+def test_generator_detector_property(mime, index):
+    generator = TargetContentGenerator("oe", seed=9)
+    target = generator.generate(f"https://x.example/p{index}", mime)
+    assert count_statistic_tables(target.body, target.mime_type) == target.n_tables

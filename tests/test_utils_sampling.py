@@ -1,0 +1,69 @@
+"""Tests for distribution sampling helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.sampling import (
+    bounded_lognormal,
+    clipped_normal_int,
+    weighted_choice,
+    zipf_weights,
+)
+
+
+def test_zipf_weights_normalised():
+    weights = zipf_weights(10)
+    assert abs(sum(weights) - 1.0) < 1e-12
+
+
+def test_zipf_weights_decreasing():
+    weights = zipf_weights(8, exponent=1.2)
+    assert all(a > b for a, b in zip(weights, weights[1:]))
+
+
+def test_zipf_weights_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        zipf_weights(0)
+
+
+def test_weighted_choice_respects_zero_weight():
+    rng = random.Random(0)
+    picks = {weighted_choice(rng, ["a", "b"], [1.0, 0.0]) for _ in range(50)}
+    assert picks == {"a"}
+
+
+def test_weighted_choice_length_mismatch():
+    with pytest.raises(ValueError):
+        weighted_choice(random.Random(0), ["a"], [0.5, 0.5])
+
+
+@given(st.floats(1.0, 1e7), st.floats(0.0, 1e7))
+@settings(max_examples=60)
+def test_bounded_lognormal_respects_bounds(mean, std):
+    rng = random.Random(1)
+    value = bounded_lognormal(rng, mean, std, low=2.0, high=1e9)
+    assert 2.0 <= value <= 1e9
+
+
+def test_bounded_lognormal_mean_roughly_matches():
+    rng = random.Random(3)
+    samples = [bounded_lognormal(rng, 1000.0, 500.0) for _ in range(4000)]
+    mean = sum(samples) / len(samples)
+    assert 800 < mean < 1300
+
+
+def test_bounded_lognormal_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        bounded_lognormal(random.Random(0), 0.0, 1.0)
+
+
+@given(st.floats(-100, 100), st.floats(0, 50))
+@settings(max_examples=60)
+def test_clipped_normal_int_bounds(mean, std):
+    rng = random.Random(2)
+    value = clipped_normal_int(rng, mean, std, low=1, high=40)
+    assert 1 <= value <= 40
+    assert isinstance(value, int)

@@ -1,0 +1,74 @@
+"""Tests for URL resolution and canonicalisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.webgraph.canonical import canonicalize_url, resolve_link
+
+
+def test_fragment_stripped():
+    assert canonicalize_url("https://x.example/a#sec") == "https://x.example/a"
+
+
+def test_case_normalised_on_host_not_path():
+    assert (
+        canonicalize_url("HTTPS://WWW.X.Example/A/B")
+        == "https://www.x.example/A/B"
+    )
+
+
+def test_default_port_dropped():
+    assert canonicalize_url("https://x.example:443/a") == "https://x.example/a"
+    assert canonicalize_url("http://x.example:80/a") == "http://x.example/a"
+    assert (
+        canonicalize_url("https://x.example:8443/a")
+        == "https://x.example:8443/a"
+    )
+
+
+def test_empty_path_becomes_slash():
+    assert canonicalize_url("https://x.example") == "https://x.example/"
+
+
+def test_query_preserved():
+    assert (
+        canonicalize_url("https://x.example/a?b=1&c=2#frag")
+        == "https://x.example/a?b=1&c=2"
+    )
+
+
+def test_resolve_path_absolute():
+    assert (
+        resolve_link("https://x.example/dir/page", "/files/a.csv")
+        == "https://x.example/files/a.csv"
+    )
+
+
+def test_resolve_relative():
+    assert (
+        resolve_link("https://x.example/dir/page", "sub/a.csv")
+        == "https://x.example/dir/sub/a.csv"
+    )
+    assert (
+        resolve_link("https://x.example/dir/page", "../a.csv")
+        == "https://x.example/a.csv"
+    )
+
+
+def test_resolve_absolute_passthrough():
+    assert (
+        resolve_link("https://x.example/p", "https://other.example/q#f")
+        == "https://other.example/q"
+    )
+
+
+def test_resolve_fragment_only_is_same_page():
+    assert resolve_link("https://x.example/p", "#top") == "https://x.example/p"
+
+
+@given(st.text(alphabet="abc/.?#:=&", max_size=25))
+@settings(max_examples=80)
+def test_canonicalisation_idempotent(suffix):
+    url = resolve_link("https://www.x.example/base/page", suffix)
+    assert canonicalize_url(url) == url

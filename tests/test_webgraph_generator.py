@@ -1,0 +1,131 @@
+"""Tests for the synthetic-website generator."""
+
+import pytest
+
+from repro.webgraph.generator import generate_site
+from repro.webgraph.model import PageKind
+from tests.conftest import make_profile
+
+
+def test_generation_is_deterministic():
+    g1 = generate_site(make_profile())
+    g2 = generate_site(make_profile())
+    assert sorted(g1.urls()) == sorted(g2.urls())
+    for url in g1.urls():
+        p1, p2 = g1.page(url), g2.page(url)
+        assert p1.kind == p2.kind
+        assert p1.size == p2.size
+        assert [(l.url, l.tag_path) for l in p1.links] == [
+            (l.url, l.tag_path) for l in p2.links
+        ]
+
+
+def test_generated_graph_is_valid(small_site):
+    assert small_site.validate() == []
+
+
+def test_counts_close_to_profile(small_site):
+    stats = small_site.statistics()
+    assert abs(stats.n_available - 220) / 220 < 0.15
+    assert abs(100 * stats.target_density - 30.0) < 6.0
+    assert abs(stats.html_to_target_pct - 8.0) < 5.0
+
+
+def test_depths_match_profile(deep_site):
+    stats = deep_site.statistics()
+    assert 8.0 < stats.target_depth_mean < 17.0
+
+
+def test_all_targets_reachable(small_site):
+    depths = small_site.depths()
+    for target in small_site.target_pages():
+        assert target.url in depths
+
+
+def test_error_pages_have_error_statuses(small_site):
+    errors = [p for p in small_site.pages() if p.kind is PageKind.ERROR]
+    assert errors
+    assert all(p.status >= 400 for p in errors)
+
+
+def test_redirects_point_to_existing_pages(small_site):
+    redirects = [p for p in small_site.pages() if p.kind is PageKind.REDIRECT]
+    assert redirects
+    for r in redirects:
+        assert r.redirect_to in small_site
+
+
+def test_targets_have_no_outlinks(small_site):
+    for target in small_site.target_pages():
+        assert target.links == []
+
+
+def test_some_offsite_links_exist(small_site):
+    from repro.webgraph.model import same_site
+
+    offsite = [
+        link.url
+        for page in small_site.html_pages()
+        for link in page.links
+        if not same_site(small_site.root_url, link.url)
+    ]
+    assert offsite
+
+
+def test_media_pages_exist_with_blocked_mime(small_site):
+    media = [p for p in small_site.pages() if p.kind is PageKind.OTHER]
+    assert media
+    assert all(
+        (p.mime_type or "").startswith(("image/", "video/", "audio/"))
+        for p in media
+    )
+
+
+def test_catalog_inbound_paths_are_distinctive(small_site):
+    """Links into target-linking pages mostly use the dataset-list slot."""
+    target_urls = small_site.target_urls()
+    catalogs = {
+        p.url
+        for p in small_site.html_pages()
+        if any(l.url in target_urls for l in p.links)
+    }
+    def is_distinctive(path: str) -> bool:
+        return any(
+            marker in path
+            for marker in (
+                "datasets", "view-datasets", "resource-list", "download-group",
+                "pagination", "pager", "page-numbers", "nav-links",
+            )
+        )
+
+    inbound: dict[str, list[str]] = {url: [] for url in catalogs}
+    for page in small_site.html_pages():
+        for link in page.links:
+            if link.url in catalogs:
+                inbound[link.url].append(link.tag_path)
+    assert all(inbound.values())
+    # Most catalogs are reachable through a dataset-list/pagination slot —
+    # the structure-to-content signal the SB agent learns (Sec. 3.2).
+    with_signal = sum(
+        1 for paths in inbound.values() if any(is_distinctive(p) for p in paths)
+    )
+    assert with_signal / len(inbound) > 0.7
+
+
+def test_scaled_profile_shrinks():
+    profile = make_profile()
+    scaled = profile.scaled(0.25)
+    assert scaled.n_pages < profile.n_pages
+    assert scaled.target_fraction == profile.target_fraction
+    assert scaled.catalog_link_distinctiveness == profile.catalog_link_distinctiveness
+
+
+def test_unique_id_noise_profile():
+    g = generate_site(make_profile(name="noisy", unique_id_noise=1.0, n_pages=120))
+    paths = [
+        l.tag_path
+        for p in g.html_pages()
+        for l in p.links
+        if "sec-" in l.tag_path
+    ]
+    assert any("#p" in p for p in paths)

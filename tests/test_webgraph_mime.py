@@ -1,0 +1,48 @@
+"""Tests for the MIME registry and blocklists."""
+
+from repro.webgraph.mime import (
+    BLOCKLISTED_EXTENSIONS,
+    TARGET_MIME_TYPES,
+    is_blocklisted_extension,
+    is_blocklisted_mime,
+    is_target_mime,
+)
+
+
+def test_paper_target_list_has_38_types():
+    assert len(TARGET_MIME_TYPES) == 38
+
+
+def test_target_mime_basics():
+    assert is_target_mime("text/csv")
+    assert is_target_mime("application/pdf")
+    assert not is_target_mime("text/html")
+    assert not is_target_mime(None)
+
+
+def test_target_mime_strips_parameters_and_case():
+    assert is_target_mime("Text/CSV; charset=utf-8")
+    assert not is_target_mime("text/html; charset=utf-8")
+
+
+def test_blocklisted_mime_prefixes():
+    assert is_blocklisted_mime("image/png")
+    assert is_blocklisted_mime("video/mp4; codecs=avc1")
+    assert not is_blocklisted_mime("application/pdf")
+    assert not is_blocklisted_mime(None)
+
+
+def test_blocklisted_extension_with_query_and_fragment():
+    assert is_blocklisted_extension("https://x.org/a/photo.JPG?size=large")
+    assert is_blocklisted_extension("https://x.org/a/clip.mp4#t=10")
+    assert not is_blocklisted_extension("https://x.org/a/file.csv")
+    assert not is_blocklisted_extension("https://x.org/node/123")
+
+
+def test_dot_in_directory_is_not_an_extension():
+    assert not is_blocklisted_extension("https://x.org/v1.2/data")
+
+
+def test_blocklist_covers_common_media():
+    for ext in (".png", ".jpg", ".mp3", ".mp4", ".webm"):
+        assert ext in BLOCKLISTED_EXTENSIONS

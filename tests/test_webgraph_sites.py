@@ -1,0 +1,65 @@
+"""Tests for the 18 paper site profiles."""
+
+import pytest
+
+from repro.webgraph.sites import (
+    FULLY_CRAWLED_SITES,
+    PAPER_SITES,
+    PAPER_STATS,
+    load_paper_site,
+    paper_site_profiles,
+)
+
+
+def test_eighteen_sites():
+    assert len(PAPER_SITES) == 18
+    assert set(PAPER_SITES) == set(PAPER_STATS)
+
+
+def test_eleven_fully_crawled():
+    assert len(FULLY_CRAWLED_SITES) == 11
+    assert set(FULLY_CRAWLED_SITES) == {
+        "be", "cl", "cn", "ed", "in", "is", "ju", "nc", "oe", "ok", "qa",
+    }
+
+
+def test_profiles_in_order():
+    profiles = paper_site_profiles()
+    assert [p.name for p in profiles] == sorted(PAPER_SITES)
+
+
+def test_unknown_site_raises():
+    with pytest.raises(KeyError):
+        load_paper_site("zz")
+
+
+@pytest.mark.parametrize("site", ["qa", "cl"])
+def test_small_sites_generate_and_validate(site):
+    graph = load_paper_site(site, scale=0.5)
+    assert graph.validate() == []
+    stats = graph.statistics()
+    paper = PAPER_STATS[site]
+    paper_density = paper.targets_k / paper.available_k
+    assert abs(stats.target_density - paper_density) < 0.12
+
+
+def test_scale_parameter_shrinks():
+    big = load_paper_site("qa", scale=1.0)
+    small = load_paper_site("qa", scale=0.3)
+    assert len(small) < len(big)
+
+
+def test_relative_size_ordering_preserved():
+    sizes = {name: profile.n_pages for name, profile in PAPER_SITES.items()}
+    assert sizes["qa"] < sizes["cl"] < sizes["be"] < sizes["ju"]
+    assert sizes["ju"] < sizes["jp"]
+
+
+def test_deep_sites_are_deep():
+    assert PAPER_SITES["ju"].target_depth_mean > 3 * PAPER_SITES["ce"].target_depth_mean
+    assert PAPER_SITES["in"].target_depth_mean > 3 * PAPER_SITES["ce"].target_depth_mean
+
+
+def test_multilingual_flags_match_paper():
+    for name, profile in PAPER_SITES.items():
+        assert (len(profile.languages) > 1) == PAPER_STATS[name].multilingual

@@ -1,0 +1,74 @@
+"""Tests for tag-path templates."""
+
+import random
+
+from repro.html.dom import parse_segment
+from repro.webgraph.templates import SlotKind, TagPathBuilder
+
+
+def test_paths_start_at_html():
+    builder = TagPathBuilder(palette_index=0)
+    for kind in SlotKind:
+        path = builder.path(kind, "data", 1)
+        assert path.startswith("html "), path
+        assert path.split(" ")[-1].split(".")[0].split("#")[0] in ("a",)
+
+
+def test_all_segments_parse():
+    for palette in range(4):
+        builder = TagPathBuilder(palette_index=palette)
+        for kind in SlotKind:
+            path = builder.path(kind, "stats", 3)
+            for segment in path.split(" "):
+                tag, _, _ = parse_segment(segment)
+                assert tag
+
+
+def test_section_decoration_present():
+    builder = TagPathBuilder(palette_index=0, section_in_path=True)
+    path = builder.path(SlotKind.CONTENT_LIST, "statistics", 1)
+    assert "sec-statistics" in path
+
+
+def test_section_decoration_disabled():
+    builder = TagPathBuilder(palette_index=0, section_in_path=False)
+    path = builder.path(SlotKind.CONTENT_LIST, "statistics", 1)
+    assert "sec-statistics" not in path
+
+
+def test_dataset_list_differs_from_content_list():
+    builder = TagPathBuilder(palette_index=0)
+    a = builder.path(SlotKind.DATASET_LIST, "data", 1)
+    b = builder.path(SlotKind.CONTENT_LIST, "data", 1)
+    assert a != b
+
+
+def test_unique_id_noise_changes_paths_per_page():
+    builder = TagPathBuilder(palette_index=0, unique_id_noise=1.0)
+    rng = random.Random(0)
+    assert builder.page_is_noisy(rng)
+    p1 = builder.path(SlotKind.CONTENT_LIST, "data", 1, noisy=True)
+    p2 = builder.path(SlotKind.CONTENT_LIST, "data", 2, noisy=True)
+    assert p1 != p2
+    assert "#p1" in p1 and "#p2" in p2
+
+
+def test_noise_zero_never_noisy():
+    builder = TagPathBuilder(palette_index=0, unique_id_noise=0.0)
+    rng = random.Random(0)
+    assert not any(builder.page_is_noisy(rng) for _ in range(100))
+
+
+def test_nav_outside_wrapper():
+    builder = TagPathBuilder(palette_index=0, unique_id_noise=1.0)
+    # NAV paths must not carry the page-unique wrapper id.
+    path = builder.path(SlotKind.NAV, "data", 9, noisy=True)
+    assert "#p9" not in path
+
+
+def test_palettes_differ():
+    paths = {
+        TagPathBuilder(palette_index=i).path(SlotKind.DOWNLOAD, "d", 1)
+        for i in range(4)
+    }
+    assert len(paths) == 4

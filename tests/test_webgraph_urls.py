@@ -1,0 +1,84 @@
+"""Tests for URL synthesis."""
+
+import random
+
+import pytest
+
+from repro.webgraph.mime import is_blocklisted_extension
+from repro.webgraph.model import same_site
+from repro.webgraph.urls import UrlFactory, section_slugs
+
+
+@pytest.mark.parametrize("style", ["path", "extension", "node", "query"])
+def test_urls_unique_and_in_site(style):
+    factory = UrlFactory("https://www.site.example", style=style, seed=1)
+    root = factory.root()
+    urls = {root}
+    for _ in range(200):
+        for maker in (
+            lambda: factory.html_url("en", "data"),
+            lambda: factory.target_url("en", "data", "text/csv"),
+            lambda: factory.section_url("en", "data"),
+            lambda: factory.error_url("en", "data"),
+        ):
+            url = maker()
+            assert url not in urls, f"duplicate URL in style {style}"
+            urls.add(url)
+            assert same_site(root, url)
+
+
+def test_extension_style_targets_have_extensions():
+    factory = UrlFactory("https://www.site.example", style="extension", seed=2)
+    factory.root()
+    url = factory.target_url("en", "data", "application/pdf")
+    assert url.endswith(".pdf")
+    html = factory.html_url("en", "data")
+    assert html.endswith(".html")
+
+
+def test_node_style_is_extensionless():
+    factory = UrlFactory("https://www.site.example", style="node", seed=3)
+    factory.root()
+    target = factory.target_url("en", "data", "application/pdf")
+    assert "." not in target.rsplit("/", 1)[-1]
+    html = factory.html_url("en", "data")
+    assert "/node/" in html
+
+
+def test_media_urls_blocklisted():
+    factory = UrlFactory("https://www.site.example", seed=4)
+    factory.root()
+    for _ in range(20):
+        assert is_blocklisted_extension(factory.media_url("data"))
+
+
+def test_offsite_urls_are_offsite():
+    factory = UrlFactory("https://www.site.example", seed=5)
+    root = factory.root()
+    assert not same_site(root, factory.offsite_url())
+
+
+def test_multilingual_prefix():
+    factory = UrlFactory(
+        "https://www.site.example", languages=("en", "fr"), seed=6
+    )
+    factory.root()
+    url = factory.html_url("fr", "donnees")
+    assert "/fr/" in url
+
+
+def test_unknown_style_rejected():
+    with pytest.raises(ValueError):
+        UrlFactory("https://www.site.example", style="bogus")
+
+
+def test_section_slugs_distinct():
+    rng = random.Random(0)
+    slugs = section_slugs("en", 15, rng)
+    assert len(slugs) == 15
+    assert len(set(slugs)) == 15
+
+
+def test_section_slugs_unknown_language_falls_back():
+    rng = random.Random(0)
+    assert section_slugs("xx", 3, rng)
