@@ -123,10 +123,11 @@ def main(argv: list[str] | None = None) -> int:
         names = [args.experiment]
         runners = EXPERIMENTS
     for name in names:
-        started = time.time()
+        started = time.time()  # repro: noqa[DET002] CLI progress display only
         result = runners[name](config, cache)
         print(result.render())
-        print(f"[{name} computed in {time.time() - started:.1f} s]\n")
+        elapsed = time.time() - started  # repro: noqa[DET002] display only
+        print(f"[{name} computed in {elapsed:.1f} s]\n")
     return 0
 
 

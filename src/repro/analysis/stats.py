@@ -113,7 +113,8 @@ def compare_paired(
 
 def _wilcoxon_p(differences: list[float]) -> float | None:
     """Two-sided Wilcoxon signed-rank p-value via scipy when applicable."""
-    nonzero = [d for d in differences if d != 0.0]
+    # Wilcoxon drops exactly-tied pairs; approximate zeros must stay.
+    nonzero = [d for d in differences if d != 0.0]  # repro: noqa[COR002]
     if len(nonzero) < 6:
         return None
     try:

@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.utils.rng import derive_rng
+
 #: The paper's default exploration coefficient.
 DEFAULT_ALPHA = 2.0 * math.sqrt(2.0)
 
@@ -116,9 +118,7 @@ class EpsilonGreedyBandit(SleepingBandit):
     seed: int = 0
 
     def __post_init__(self) -> None:
-        import random
-
-        self._rng = random.Random(self.seed)
+        self._rng = derive_rng(self.seed, "bandit", "epsilon-greedy")
 
     def select(self, awake_actions: list[int], t: int) -> int:
         if not awake_actions:
@@ -144,9 +144,7 @@ class ThompsonSamplingBandit(SleepingBandit):
     seed: int = 0
 
     def __post_init__(self) -> None:
-        import random
-
-        self._rng = random.Random(self.seed)
+        self._rng = derive_rng(self.seed, "bandit", "thompson")
 
     def select(self, awake_actions: list[int], t: int) -> int:
         if not awake_actions:

@@ -26,6 +26,8 @@ import random
 
 import numpy as np
 
+from repro.utils.num import approx_zero
+
 
 class HnswIndex:
     """Approximate nearest-neighbour index over cosine distance."""
@@ -61,7 +63,7 @@ class HnswIndex:
 
     def _distance(self, query: np.ndarray, query_norm: float, key: int) -> float:
         norm = self._norms[key]
-        if norm == 0.0 or query_norm == 0.0:
+        if approx_zero(norm) or approx_zero(query_norm):
             return 1.0
         return 1.0 - float(query @ self._vectors[key]) / (query_norm * norm)
 

@@ -1,0 +1,110 @@
+"""Command-line entry point: ``python -m repro.lint [paths]``.
+
+Exit codes follow the usual linter contract:
+
+* ``0`` — all linted files are clean;
+* ``1`` — findings were reported;
+* ``2`` — usage error (unknown path, unknown rule code, bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.config import load_pyproject_config
+from repro.lint.engine import LintUsageError, Linter
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import default_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based determinism & invariant linter for the "
+                    "repro codebase (see docs/static_analysis.md)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="report format (json is stable for CI annotation)",
+    )
+    parser.add_argument(
+        "--disable", default="",
+        help="comma-separated rule codes to turn off (adds to pyproject)",
+    )
+    parser.add_argument(
+        "--select", default="",
+        help="comma-separated rule codes to run exclusively",
+    )
+    parser.add_argument(
+        "--config", default=None, metavar="PYPROJECT",
+        help="explicit pyproject.toml (default: search upward from cwd)",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore pyproject.toml and run with built-in defaults",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name}: {rule.rationale}")
+        return EXIT_CLEAN
+
+    known = {rule.code for rule in rules}
+    selected = {c.strip().upper() for c in args.select.split(",") if c.strip()}
+    disabled = {c.strip().upper() for c in args.disable.split(",") if c.strip()}
+    unknown = (selected | disabled) - known
+    if unknown:
+        print(f"error: unknown rule code(s): {sorted(unknown)}",
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    try:
+        if args.no_config:
+            from repro.lint.config import RuleConfig
+
+            config = RuleConfig()
+        else:
+            config = load_pyproject_config(args.config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if selected:
+        rules = [rule for rule in rules if rule.code in selected]
+    if disabled:
+        rules = [rule for rule in rules if rule.code not in disabled]
+
+    try:
+        linter = Linter(config=config, rules=rules)
+        findings = linter.check_paths(args.paths)
+    except LintUsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings))
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

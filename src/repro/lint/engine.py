@@ -1,0 +1,262 @@
+"""Rule-engine framework: AST dispatch, suppression, file walking.
+
+A :class:`Rule` declares interest in AST node types by defining
+``visit_<NodeType>`` methods (the :class:`ast.NodeVisitor` naming
+convention).  The :class:`Linter` parses each file once and walks the
+tree with a single dispatcher that hands every node to every rule that
+subscribed to its type — so adding rules never adds extra tree walks.
+
+Findings a rule reports are filtered through per-line suppression
+comments before they reach the caller::
+
+    norm == 0.0  # repro: noqa[COR002] exact zero is intentional here
+    anything()   # repro: noqa          (suppresses every rule)
+
+The marker may carry several codes (``noqa[DET001,COR002]``) and any
+amount of trailing prose explaining *why* the line is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, ClassVar, Iterable
+
+from repro.lint.config import RuleConfig
+
+#: ``# repro: noqa`` or ``# repro: noqa[CODE1,CODE2]`` anywhere in a line.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+#: Findings for files the linter itself could not process.
+PARSE_ERROR_CODE = "E999"
+
+
+class LintUsageError(Exception):
+    """Invalid invocation (unknown rule code, missing path, ...)."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, pinned to a file position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the three class attributes and implement one or more
+    ``visit_<NodeType>(self, node, ctx)`` handlers.  Handlers report
+    violations via ``ctx.report(self, node, message)``; suppression and
+    rule-disabling are handled by the engine, not the rule.
+
+    ``visit_FunctionDef`` handlers are automatically also invoked for
+    ``ast.AsyncFunctionDef`` nodes.
+    """
+
+    #: Stable identifier, e.g. ``"DET001"`` — used in reports, ``noqa``
+    #: markers and the ``disable`` config list.
+    code: ClassVar[str] = ""
+    #: Short human-readable name shown by ``--list-rules``.
+    name: ClassVar[str] = ""
+    #: One-line rationale shown by ``--list-rules``.
+    rationale: ClassVar[str] = ""
+
+    def handlers(self) -> dict[str, Callable]:
+        """Map AST node-type name -> bound handler method."""
+        table: dict[str, Callable] = {}
+        for attr in dir(self):
+            if attr.startswith("visit_"):
+                table[attr[len("visit_"):]] = getattr(self, attr)
+        if "FunctionDef" in table:
+            table.setdefault("AsyncFunctionDef", table["FunctionDef"])
+        return table
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may want to know about the file being linted."""
+
+    path: str
+    config: RuleConfig
+    source: str
+    tree: ast.AST
+    findings: list[Finding] = field(default_factory=list)
+    #: Depth of the enclosing function stack at the node being visited
+    #: (0 = module scope); maintained by the dispatcher.
+    function_depth: int = 0
+    _noqa: dict[int, frozenset[str] | None] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for lineno, text in enumerate(self.source.splitlines(), start=1):
+            match = _NOQA_RE.search(text)
+            if match is None:
+                continue
+            codes = match.group(1)
+            if codes is None:
+                self._noqa[lineno] = None  # bare noqa: everything
+            else:
+                self._noqa[lineno] = frozenset(
+                    c.strip().upper() for c in codes.split(",") if c.strip()
+                )
+
+    # -- path-derived attributes ----------------------------------------
+
+    @property
+    def posix_path(self) -> str:
+        return Path(self.path).as_posix()
+
+    @property
+    def repro_relpath(self) -> str:
+        """Path relative to the ``repro`` package root (e.g.
+        ``core/bandit.py``), or ``""`` if the file is outside it."""
+        parts = Path(self.path).parts
+        if "repro" not in parts:
+            return ""
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[index + 1:])
+
+    @property
+    def package(self) -> str:
+        """First-level subpackage under ``repro`` (``"core"``, ...), or
+        ``""`` for root modules and files outside the package."""
+        relpath = self.repro_relpath
+        if "/" not in relpath:
+            return ""
+        return relpath.split("/", 1)[0]
+
+    def in_function(self) -> bool:
+        return self.function_depth > 0
+
+    def is_test_file(self) -> bool:
+        name = Path(self.path).name
+        posix = self.posix_path
+        return (
+            name.startswith("test_")
+            or name.endswith("_test.py")
+            or "/tests/" in posix
+            or "/benchmarks/" in posix
+        )
+
+    # -- reporting -------------------------------------------------------
+
+    def suppressed(self, code: str, line: int) -> bool:
+        if line not in self._noqa:
+            return False
+        codes = self._noqa[line]
+        return codes is None or code in codes
+
+    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.suppressed(rule.code, line):
+            return
+        self.findings.append(
+            Finding(path=self.path, line=line, col=col, rule=rule.code,
+                    message=message)
+        )
+
+
+class _Dispatcher(ast.NodeVisitor):
+    """Single tree walk that fans each node out to subscribed rules."""
+
+    def __init__(
+        self, handlers: dict[str, list[Callable]], ctx: FileContext
+    ) -> None:
+        self._handlers = handlers
+        self._ctx = ctx
+
+    def visit(self, node: ast.AST) -> None:
+        for handler in self._handlers.get(type(node).__name__, ()):
+            handler(node, self._ctx)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._ctx.function_depth += 1
+            self.generic_visit(node)
+            self._ctx.function_depth -= 1
+        else:
+            self.generic_visit(node)
+
+
+class Linter:
+    """Run a rule set over source strings, files or directory trees."""
+
+    def __init__(
+        self,
+        config: RuleConfig | None = None,
+        rules: Iterable[Rule] | None = None,
+    ) -> None:
+        from repro.lint.rules import default_rules
+
+        self.config = config or RuleConfig()
+        all_rules = list(rules) if rules is not None else default_rules()
+        known = {rule.code for rule in all_rules}
+        known.update(rule.code for rule in default_rules())
+        unknown = set(self.config.disable) - known
+        if unknown:
+            raise LintUsageError(
+                f"unknown rule code(s) in disable list: {sorted(unknown)}"
+            )
+        self.rules = [r for r in all_rules if r.code not in self.config.disable]
+        self._handlers: dict[str, list[Callable]] = {}
+        for rule in self.rules:
+            for node_type, handler in rule.handlers().items():
+                self._handlers.setdefault(node_type, []).append(handler)
+
+    # -- entry points ----------------------------------------------------
+
+    def check_source(self, source: str, path: str = "<string>") -> list[Finding]:
+        """Lint one source string; ``path`` drives path-sensitive rules."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule=PARSE_ERROR_CODE,
+                    message=f"could not parse file: {exc.msg}",
+                )
+            ]
+        ctx = FileContext(path=path, config=self.config, source=source, tree=tree)
+        _Dispatcher(self._handlers, ctx).visit(tree)
+        return sorted(ctx.findings)
+
+    def check_file(self, path: str | Path) -> list[Finding]:
+        text = Path(path).read_text(encoding="utf-8")
+        return self.check_source(text, path=str(path))
+
+    def check_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        """Lint files and (recursively) directories of ``*.py`` files."""
+        findings: list[Finding] = []
+        for path in paths:
+            path = Path(path)
+            if not path.exists():
+                raise LintUsageError(f"no such file or directory: {path}")
+            if path.is_dir():
+                files = sorted(path.rglob("*.py"))
+            else:
+                files = [path]
+            for file in files:
+                if self.config.is_excluded(file.as_posix()):
+                    continue
+                findings.extend(self.check_file(file))
+        return sorted(findings)

@@ -1,0 +1,41 @@
+"""Finding reporters: human-readable text and CI-consumable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from repro.lint.engine import Finding
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """``path:line:col: CODE message`` per finding plus a summary line."""
+    findings = list(findings)
+    lines = [
+        f"{finding.location()}: {finding.rule} {finding.message}"
+        for finding in findings
+    ]
+    if not findings:
+        lines.append("repro.lint: clean (0 findings)")
+    else:
+        by_rule = Counter(finding.rule for finding in findings)
+        breakdown = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append(
+            f"repro.lint: {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} ({breakdown})"
+        )
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Stable JSON document for CI annotation tooling."""
+    findings = list(findings)
+    document = {
+        "tool": "repro.lint",
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -138,7 +138,8 @@ class PassiveAggressiveClassifier(_LinearModel):
                 continue
             sign = 1.0 if y == 1 else -1.0
             loss = max(0.0, 1.0 - sign * self.decision_function(x))
-            if loss == 0.0:
+            # Exact zero is intended: hinge loss is literally max(0.0, ...).
+            if loss == 0.0:  # repro: noqa[COR002]
                 continue
             norm_sq = float(np.dot(x.values, x.values)) + 1.0  # +1 for bias
             tau = min(self.C, loss / norm_sq)

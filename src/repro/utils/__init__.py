@@ -1,5 +1,6 @@
 """Shared utilities: deterministic RNG helpers and distribution sampling."""
 
+from repro.utils.num import approx_zero
 from repro.utils.rng import derive_rng, derive_seed
 from repro.utils.sampling import (
     bounded_lognormal,
@@ -9,6 +10,7 @@ from repro.utils.sampling import (
 )
 
 __all__ = [
+    "approx_zero",
     "derive_rng",
     "derive_seed",
     "bounded_lognormal",

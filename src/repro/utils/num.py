@@ -1,0 +1,19 @@
+"""Numeric helpers shared across layers.
+
+``approx_zero`` exists so that float guards are written as explicit
+tolerance checks rather than exact ``== 0.0`` comparisons, which the
+``repro.lint`` COR002 rule flags: cosine norms and losses accumulate
+rounding error, and an exact-zero test silently stops matching once a
+value is merely *denormally* small.
+"""
+
+from __future__ import annotations
+
+#: Default tolerance: far below any meaningful norm/loss in this code
+#: base, far above double-precision rounding noise.
+DEFAULT_EPS = 1e-12
+
+
+def approx_zero(x: float, eps: float = DEFAULT_EPS) -> bool:
+    """True when ``|x| <= eps`` — the float-safe form of ``x == 0.0``."""
+    return abs(x) <= eps

@@ -169,6 +169,6 @@ def load_paper_site(name: str, scale: float = 1.0) -> WebsiteGraph:
     if name not in PAPER_SITES:
         raise KeyError(f"unknown paper site: {name!r}; pick one of {sorted(PAPER_SITES)}")
     profile = PAPER_SITES[name]
-    if scale != 1.0:
+    if scale != 1.0:  # repro: noqa[COR002] sentinel default, never computed
         profile = profile.scaled(scale)
     return generate_site(profile)

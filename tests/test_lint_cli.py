@@ -1,0 +1,105 @@
+"""Exit-code and output-format tests for ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.__main__ import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+
+REPO = Path(__file__).resolve().parent.parent
+
+CLEAN_SNIPPET = "from repro.utils.rng import derive_rng\n"
+DIRTY_SNIPPET = (
+    "import random\n"
+    "\n"
+    "\n"
+    "def f(x, acc=[]):\n"
+    "    acc.append(random.random())\n"
+    "    return x == 0.5\n"
+)
+
+
+@pytest.fixture()
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY_SNIPPET)
+    return path
+
+
+def test_exit_zero_on_clean_file(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN_SNIPPET)
+    assert main(["--no-config", str(path)]) == EXIT_CLEAN
+    assert "clean (0 findings)" in capsys.readouterr().out
+
+
+def test_exit_one_with_findings_and_locations(dirty_file, capsys):
+    assert main(["--no-config", str(dirty_file)]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert f"{dirty_file}:5" in out  # random.random() line
+    assert "DET001" in out and "COR001" in out and "COR002" in out
+
+
+def test_exit_two_on_unknown_path(tmp_path, capsys):
+    assert main(["--no-config", str(tmp_path / "missing.py")]) == EXIT_USAGE
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_exit_two_on_unknown_rule_code(dirty_file, capsys):
+    assert main(["--disable", "NOPE99", str(dirty_file)]) == EXIT_USAGE
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_exit_two_on_bad_flag(dirty_file):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--format", "xml", str(dirty_file)])
+    assert excinfo.value.code == EXIT_USAGE
+
+
+def test_json_format_is_machine_readable(dirty_file, capsys):
+    assert main(["--no-config", "--format", "json", str(dirty_file)]) == \
+        EXIT_FINDINGS
+    document = json.loads(capsys.readouterr().out)
+    assert document["tool"] == "repro.lint"
+    assert document["count"] == len(document["findings"]) >= 3
+    first = document["findings"][0]
+    assert set(first) == {"path", "line", "col", "rule", "message"}
+
+
+def test_select_runs_only_chosen_rules(dirty_file, capsys):
+    assert main(["--no-config", "--select", "COR001", str(dirty_file)]) == \
+        EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "COR001" in out and "DET001" not in out
+
+
+def test_disable_flag_turns_rule_off(dirty_file, capsys):
+    code = main([
+        "--no-config", "--disable", "DET001,COR001,COR002", str(dirty_file)
+    ])
+    assert code == EXIT_CLEAN
+    assert "clean" in capsys.readouterr().out
+
+
+def test_list_rules_prints_catalogue(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for code in ("DET001", "DET002", "DET003", "COR001", "COR002",
+                 "COR003", "API001", "API002"):
+        assert code in out
+
+
+def test_directory_walk_respects_exclude(tmp_path, capsys):
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "bad.py").write_text("import random\nx = random.random()\n")
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        '[tool.repro-lint]\nexclude = ["*/pkg/bad.py"]\n'
+    )
+    code = main(["--config", str(pyproject), str(package)])
+    assert code == EXIT_CLEAN
+    assert "clean" in capsys.readouterr().out

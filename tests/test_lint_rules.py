@@ -1,0 +1,374 @@
+"""Per-rule unit tests for ``repro.lint``: positive and negative
+fixture snippets, ``noqa`` suppression and config-driven disabling."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import Linter, RuleConfig
+from repro.lint.engine import LintUsageError
+
+#: A path that places the snippet inside the crawler layer.
+CORE = "src/repro/core/example.py"
+
+
+def lint(source: str, path: str = CORE, config: RuleConfig | None = None):
+    return Linter(config or RuleConfig()).check_source(
+        textwrap.dedent(source), path=path
+    )
+
+
+def codes(findings) -> list[str]:
+    return [finding.rule for finding in findings]
+
+
+# -- DET001: unseeded / global randomness --------------------------------
+
+
+def test_det001_unseeded_random_flagged():
+    findings = lint("import random\nrng = random.Random()\n")
+    assert codes(findings) == ["DET001"]
+    assert findings[0].line == 2
+
+
+def test_det001_seeded_random_ok():
+    assert lint("import random\nrng = random.Random(7)\n") == []
+
+
+def test_det001_global_random_calls_flagged():
+    findings = lint(
+        """
+        import random
+
+        def f():
+            return random.random() + random.gauss(0, 1)
+        """
+    )
+    assert codes(findings) == ["DET001", "DET001"]
+
+
+def test_det001_from_import_flagged():
+    assert codes(lint("from random import Random\n")) == ["DET001"]
+
+
+def test_det001_function_scope_import_flagged():
+    findings = lint(
+        """
+        def f(seed):
+            import random
+
+            return random.Random(seed)
+        """
+    )
+    assert codes(findings) == ["DET001"]
+
+
+def test_det001_rng_module_exempt():
+    source = "import random\n\nrng = random.Random()\n"
+    assert lint(source, path="src/repro/utils/rng.py") == []
+    assert codes(lint(source, path=CORE)) == ["DET001"]
+
+
+# -- DET002: wall clock / OS entropy -------------------------------------
+
+
+def test_det002_wall_clock_flagged():
+    findings = lint(
+        """
+        import os
+        import time
+        from datetime import datetime
+
+        def f():
+            return time.time(), datetime.now(), os.urandom(8)
+        """
+    )
+    assert codes(findings) == ["DET002", "DET002", "DET002"]
+
+
+def test_det002_tests_and_benchmarks_exempt():
+    source = "import time\nstart = time.time()\n"
+    assert lint(source, path="tests/test_example.py") == []
+    assert lint(source, path="benchmarks/test_bench_x.py") == []
+
+
+def test_det002_unrelated_methods_ok():
+    assert lint("class C:\n    def go(self):\n        return self.now()\n") == []
+
+
+# -- DET003: set iteration feeding RNG -----------------------------------
+
+
+def test_det003_set_iteration_with_rng_flagged():
+    findings = lint(
+        """
+        def f(rng, urls):
+            pending = set(urls)
+            for url in pending:
+                if rng.random() < 0.5:
+                    return url
+        """
+    )
+    assert codes(findings) == ["DET003"]
+
+
+def test_det003_sorted_set_ok():
+    assert lint(
+        """
+        def f(rng, urls):
+            for url in sorted(set(urls)):
+                if rng.random() < 0.5:
+                    return url
+        """
+    ) == []
+
+
+def test_det003_no_rng_use_ok():
+    assert lint(
+        """
+        def f(urls):
+            total = 0
+            for url in set(urls):
+                total += len(url)
+            return total
+        """
+    ) == []
+
+
+# -- COR001: mutable defaults --------------------------------------------
+
+
+def test_cor001_mutable_defaults_flagged():
+    findings = lint(
+        """
+        def f(a, b=[], *, c={}):
+            return a, b, c
+        """
+    )
+    assert codes(findings) == ["COR001", "COR001"]
+    assert "'b'" in findings[0].message
+
+
+def test_cor001_none_default_ok():
+    assert lint("def f(a, b=None, c=()):\n    return a, b, c\n") == []
+
+
+# -- COR002: float equality ----------------------------------------------
+
+
+def test_cor002_float_literal_equality_flagged():
+    assert codes(lint("def f(x):\n    return x == 0.0\n")) == ["COR002"]
+    assert codes(lint("def f(x):\n    return 1.0 != x\n")) == ["COR002"]
+
+
+def test_cor002_int_and_ordering_ok():
+    assert lint("def f(x):\n    return x == 0 or x <= 0.0\n") == []
+
+
+def test_cor002_test_files_exempt():
+    source = "def f(x):\n    assert x == 0.5\n"
+    assert lint(source, path="tests/test_example.py") == []
+
+
+# -- COR003: swallowed exceptions ----------------------------------------
+
+
+def test_cor003_bare_except_flagged():
+    findings = lint(
+        """
+        def f():
+            try:
+                work()
+            except:
+                pass
+        """
+    )
+    assert codes(findings) == ["COR003"]
+
+
+def test_cor003_swallowed_broad_except_flagged():
+    findings = lint(
+        """
+        def f():
+            try:
+                work()
+            except Exception:
+                pass
+        """
+    )
+    assert codes(findings) == ["COR003"]
+
+
+def test_cor003_narrow_or_handled_ok():
+    assert lint(
+        """
+        def f(log):
+            try:
+                work()
+            except ValueError:
+                pass
+            try:
+                work()
+            except Exception as exc:
+                log.append(exc)
+                raise
+        """
+    ) == []
+
+
+# -- API001: seed threading in crawler layers ----------------------------
+
+
+def test_api001_hardwired_rng_flagged():
+    findings = lint(
+        """
+        import random
+
+        def shuffle_frontier(urls):
+            rand = random.Random(42)
+            rand.shuffle(urls)
+            return urls
+        """
+    )
+    assert codes(findings) == ["API001"]
+
+
+def test_api001_seed_parameter_ok():
+    assert lint(
+        """
+        import random
+
+        def shuffle_frontier(urls, seed=0):
+            rand = random.Random(seed)
+            rand.shuffle(urls)
+            return urls
+        """
+    ) == []
+
+
+def test_api001_stored_state_ok():
+    assert lint(
+        """
+        import random
+
+        class C:
+            def reset(self):
+                self._rand = random.Random(self.seed)
+        """
+    ) == []
+
+
+def test_api001_private_and_other_layers_exempt():
+    source = (
+        "import random\n\n\ndef _helper(urls):\n"
+        "    return random.Random(42).choice(urls)\n"
+    )
+    assert lint(source) == []
+    assert lint(source.replace("_helper", "helper"),
+                path="src/repro/analysis/example.py") == []
+
+
+# -- API002: layering ----------------------------------------------------
+
+
+def test_api002_upward_import_flagged():
+    findings = lint("from repro.experiments.config import ExperimentConfig\n")
+    assert codes(findings) == ["API002"]
+    assert "repro.core" in findings[0].message
+
+
+def test_api002_downward_and_sibling_imports_ok():
+    assert lint("from repro.http.client import HttpClient\n") == []
+    assert lint("from repro.webgraph.model import WebsiteGraph\n",
+                path="src/repro/html/example.py") == []
+
+
+def test_api002_root_modules_exempt():
+    assert lint("from repro.experiments import runner\n",
+                path="src/repro/__main__.py") == []
+
+
+def test_api002_layer_override_via_config():
+    config = RuleConfig(layers={"experiments": 0})
+    assert lint("import repro.experiments\n", config=config) == []
+
+
+# -- suppression & configuration -----------------------------------------
+
+
+def test_noqa_single_code_suppresses_only_that_rule():
+    source = "def f(x):\n    return x == 0.0  # repro: noqa[COR002]\n"
+    assert lint(source) == []
+    # The marker names a different rule: the finding survives.
+    other = "def f(x):\n    return x == 0.0  # repro: noqa[DET001]\n"
+    assert codes(lint(other)) == ["COR002"]
+
+
+def test_noqa_bare_suppresses_everything():
+    source = "rng = __import__('random').Random()  # repro: noqa\n"
+    assert lint("import random\nrng = random.Random()  # repro: noqa\n") == []
+    assert lint(source) == []
+
+
+def test_noqa_multiple_codes():
+    source = (
+        "import random\n"
+        "x = random.random() == 0.0  # repro: noqa[DET001, COR002]\n"
+    )
+    assert lint(source) == []
+
+
+def test_config_disable_turns_rule_off():
+    config = RuleConfig(disable=frozenset({"COR002"}))
+    assert lint("def f(x):\n    return x == 0.0\n", config=config) == []
+
+
+def test_config_unknown_disable_code_rejected():
+    with pytest.raises(LintUsageError):
+        Linter(RuleConfig(disable=frozenset({"NOPE99"})))
+
+
+def test_syntax_error_reported_as_finding():
+    findings = lint("def f(:\n")
+    assert codes(findings) == ["E999"]
+    assert findings[0].line == 1
+
+
+def test_pyproject_loading(tmp_path):
+    from repro.lint import load_pyproject_config
+
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        """
+        [tool.repro-lint]
+        disable = ["cor002"]
+        exclude = ["*/generated/*"]
+
+        [tool.repro-lint.layers]
+        plugins = 45
+        """
+    )
+    config = load_pyproject_config(pyproject)
+    assert config.disable == frozenset({"COR002"})
+    assert config.is_excluded("src/repro/generated/stub.py")
+    assert config.layer_rank("plugins") == 45
+    assert config.layer_rank("core") == 30  # defaults still present
+    assert lint("def f(x):\n    return x == 0.0\n", config=config) == []
+
+
+def test_pyproject_unknown_key_rejected(tmp_path):
+    from repro.lint import load_pyproject_config
+
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.repro-lint]\ntypo-key = 1\n")
+    with pytest.raises(ValueError):
+        load_pyproject_config(pyproject)
+
+
+def test_pyproject_missing_file_yields_defaults(tmp_path):
+    from repro.lint import load_pyproject_config
+
+    config = load_pyproject_config(tmp_path / "absent.toml")
+    assert config.disable == frozenset()

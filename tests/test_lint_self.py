@@ -1,0 +1,53 @@
+"""The self-lint gate: ``src/repro`` must stay clean under the full
+rule set.  This is the tier-1 hook that keeps determinism violations
+from creeping in under refactor pressure — the equivalent of running
+``python -m repro.lint src/repro`` in CI."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import Linter, load_pyproject_config
+from repro.lint.reporters import render_text
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+
+def test_source_tree_is_lint_clean():
+    config = load_pyproject_config(REPO / "pyproject.toml")
+    findings = Linter(config).check_paths([SRC])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_injected_det001_violation_is_caught():
+    """Injecting an unseeded global-RNG call into ``core/frontier.py``
+    must produce a DET001 finding naming the file and the line."""
+    frontier = SRC / "core" / "frontier.py"
+    source = frontier.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    # Splice a violation into pop_random's body.
+    anchor = next(
+        index for index, line in enumerate(lines)
+        if "def pop_random" in line
+    )
+    lines.insert(anchor + 1, "        jitter = random.random()")
+    findings = Linter().check_source("\n".join(lines), path=str(frontier))
+    det001 = [f for f in findings if f.rule == "DET001"]
+    assert len(det001) == 1
+    assert det001[0].path == str(frontier)
+    assert det001[0].line == anchor + 2  # 1-indexed, line after the def
+    assert "random.random" in det001[0].message
+
+
+def test_gate_matches_cli_invocation():
+    """The pytest gate and ``python -m repro.lint src/repro`` agree."""
+    from repro.lint.__main__ import EXIT_CLEAN, main
+
+    import contextlib
+    import io
+
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        code = main(["--config", str(REPO / "pyproject.toml"), str(SRC)])
+    assert code == EXIT_CLEAN, stdout.getvalue()
