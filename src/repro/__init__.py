@@ -21,6 +21,15 @@ Quickstart::
 from repro.core.base import Crawler, CrawlResult
 from repro.core.crawler import SBConfig, SBCrawler, sb_classifier, sb_oracle
 from repro.http.environment import CrawlEnvironment
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    MetricsObserver,
+    MetricsRegistry,
+    MultiObserver,
+    Observer,
+    crawl_report,
+)
 from repro.webgraph.generator import SiteProfile, generate_site
 from repro.webgraph.sites import (
     FULLY_CRAWLED_SITES,
@@ -39,6 +48,13 @@ __all__ = [
     "sb_classifier",
     "sb_oracle",
     "CrawlEnvironment",
+    "Observer",
+    "MultiObserver",
+    "MemorySink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "MetricsObserver",
+    "crawl_report",
     "SiteProfile",
     "generate_site",
     "FULLY_CRAWLED_SITES",

@@ -106,13 +106,19 @@ def main(argv: list[str] | None = None) -> int:
         "--runs", type=int, default=1,
         help="number of seeds to average stochastic crawlers over",
     )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="record every crawl's event stream as JSONL under DIR "
+             "(replay with python -m repro.obs report; see "
+             "docs/observability.md)",
+    )
     args = parser.parse_args(argv)
 
     config = ExperimentConfig(
         scale=args.scale, sb_runs=args.runs,
         seeds=tuple(range(1, args.runs + 1)),
     )
-    cache = ResultCache(scale=args.scale)
+    cache = ResultCache(scale=args.scale, trace_dir=args.trace_dir)
     if args.experiment == "compare":
         names = ["compare"]
         runners = {"compare": _compare}

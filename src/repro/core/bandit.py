@@ -40,6 +40,11 @@ class SleepingBandit:
     alpha: float = DEFAULT_ALPHA
     epsilon: float = 1e-6
     arms: dict[int, ArmState] = field(default_factory=dict)
+    #: instrumentation (repro.obs): score of the most recent selection —
+    #: lets the crawl loop report the winning score without recomputing it
+    last_score: float = 0.0
+    #: instrumentation (repro.obs): total pulls across all arms
+    total_selections: int = 0
 
     def ensure_arm(self, action_id: int) -> None:
         if action_id not in self.arms:
@@ -66,11 +71,13 @@ class SleepingBandit:
             if score > best_score:
                 best_score = score
                 best_action = action_id
+        self.last_score = best_score
         return best_action
 
     def record_selection(self, action_id: int) -> None:
         self.ensure_arm(action_id)
         self.arms[action_id].n_selected += 1
+        self.total_selections += 1
 
     def record_reward(self, action_id: int, reward: float) -> None:
         """Incremental mean update (final line of Algorithm 4)."""
@@ -126,8 +133,11 @@ class EpsilonGreedyBandit(SleepingBandit):
         for action_id in awake_actions:
             self.ensure_arm(action_id)
         if self._rng.random() < self.explore_probability:
-            return self._rng.choice(awake_actions)
-        return max(awake_actions, key=lambda a: self.arms[a].mean_reward)
+            choice = self._rng.choice(awake_actions)
+        else:
+            choice = max(awake_actions, key=lambda a: self.arms[a].mean_reward)
+        self.last_score = self.arms[choice].mean_reward
+        return choice
 
 
 @dataclass
@@ -159,6 +169,7 @@ class ThompsonSamplingBandit(SleepingBandit):
             if sample > best_sample:
                 best_sample = sample
                 best_action = action_id
+        self.last_score = best_sample
         return best_action
 
 

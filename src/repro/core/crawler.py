@@ -35,6 +35,8 @@ from repro.http.environment import CrawlEnvironment
 from repro.http.messages import Response
 from repro.http.robots import RobotsPolicy, fetch_robots_policy
 from repro.ml.metrics import ConfusionMatrix
+from repro.obs.events import ActionCreated, ActionSelected, TargetFound
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.webgraph.mime import is_blocklisted_extension, is_target_mime
 
 #: Sentinel action for the root URL (discovered before any action exists).
@@ -72,6 +74,9 @@ class SBConfig:
     es_decay: float = 0.05                # γ
     es_patience: int = 15                 # κ
     seed: int = 0
+    #: event sink (docs/observability.md); None falls back to the
+    #: environment's observer, which defaults to the shared no-op
+    observer: Observer | None = None
 
     def with_seed(self, seed: int) -> "SBConfig":
         return replace(self, seed=seed)
@@ -96,6 +101,7 @@ class _SBState:
     confusion: ConfusionMatrix = field(default_factory=ConfusionMatrix)
     oracle: OracleUrlClassifier | None = None
     robots: RobotsPolicy = field(default_factory=RobotsPolicy)
+    observer: Observer = NULL_OBSERVER
 
 
 class SBCrawler(Crawler):
@@ -112,6 +118,9 @@ class SBCrawler(Crawler):
 
     def _new_state(self, env: CrawlEnvironment) -> _SBState:
         config = self.config
+        observer = (
+            config.observer if config.observer is not None else env.observer
+        )
         vectorizer = TagPathVectorizer(
             n=config.ngram_n, m=config.m, w=config.w, prime=config.prime
         )
@@ -129,6 +138,7 @@ class SBCrawler(Crawler):
                 model=config.classifier_model,
                 feature_set=config.feature_set,
                 seed=config.seed,
+                observer=observer,
             )
         monitor = None
         if config.early_stopping:
@@ -137,10 +147,12 @@ class SBCrawler(Crawler):
                 threshold=config.es_threshold,
                 decay=config.es_decay,
                 patience=config.es_patience,
+                observer=observer,
             )
         return _SBState(
             env=env,
-            client=env.new_client(self.name),
+            client=env.new_client(self.name, observer=observer),
+            observer=observer,
             vectorizer=vectorizer,
             actions=actions,
             bandit=bandit,
@@ -176,7 +188,19 @@ class SBCrawler(Crawler):
             else:
                 action_id = None
                 url = state.frontier.pop_random()
-            self._crawl_next_page(state, url, action_id, budget, cost_model)
+            reward = self._crawl_next_page(state, url, action_id, budget, cost_model)
+            if state.observer.enabled:
+                state.observer.on_event(
+                    ActionSelected(
+                        step=state.t,
+                        action_id=action_id if action_id is not None else _ROOT_ACTION,
+                        score=state.bandit.last_score if action_id is not None else 0.0,
+                        n_awake=len(awake),
+                        frontier_size=len(state.frontier),
+                        url=url,
+                        reward=reward,
+                    )
+                )
             if state.monitor is not None and state.monitor.observe(len(state.targets)):
                 stopped_early = True
                 break
@@ -264,6 +288,14 @@ class SBCrawler(Crawler):
         elif state.env.is_target_mime(mime):
             state.classifier.add_labeled(url, UrlClass.TARGET)
             state.targets.add(url)
+            if state.observer.enabled:
+                state.observer.on_event(
+                    TargetFound(
+                        ordinal=state.client.ledger.n_requests,
+                        url=url,
+                        n_targets=len(state.targets),
+                    )
+                )
             return 1
         else:
             return 0
@@ -286,9 +318,19 @@ class SBCrawler(Crawler):
                 break  # budget ran out during the initial HEAD phase
             state.seen.add(link.url)
             if label is UrlClass.HTML:
+                n_before = state.actions.n_actions
                 new_action = state.actions.assign(link.tag_path)
                 state.bandit.ensure_arm(new_action)
                 state.frontier.add(link.url, new_action)
+                if state.observer.enabled and state.actions.n_actions > n_before:
+                    state.observer.on_event(
+                        ActionCreated(
+                            action_id=new_action,
+                            tag_path=link.tag_path,
+                            n_actions=state.actions.n_actions,
+                            step=state.t,
+                        )
+                    )
             elif label is UrlClass.TARGET:
                 reward += self._crawl_next_page(
                     state, link.url, None, budget, cost_model, depth + 1

@@ -13,6 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.events import EarlyStopTriggered
+from repro.obs.observer import NULL_OBSERVER, Observer
+
 
 @dataclass
 class EarlyStoppingMonitor:
@@ -22,6 +25,8 @@ class EarlyStoppingMonitor:
     threshold: float = 0.2      # ε
     decay: float = 0.05         # γ
     patience: int = 15          # κ
+    #: instrumentation sink (repro.obs); the shared no-op by default
+    observer: Observer = NULL_OBSERVER
     #: do not monitor before the first target is found — on scaled-down
     #: deep sites the crawler has a target-free descent phase that the
     #: paper's million-page crawls do not exhibit; stopping during it
@@ -72,6 +77,15 @@ class EarlyStoppingMonitor:
             self._consecutive_low = 0
         if self._consecutive_low >= self.patience:
             self.triggered_at = self._iterations
+            if self.observer.enabled:
+                self.observer.on_event(
+                    EarlyStopTriggered(
+                        step=self._iterations,
+                        ema=self._ema,
+                        window=self.window,
+                        patience=self.patience,
+                    )
+                )
             return True
         return False
 

@@ -114,6 +114,17 @@ class Frontier:
         """Actions that still have unvisited links (1_a(t) = 1)."""
         return [a for a, p in self._pools.items() if len(p) > 0]
 
+    # -- instrumentation (repro.obs) -------------------------------------
+
+    def n_awake(self) -> int:
+        """Number of awake actions (the ``actions_awake`` gauge)."""
+        return sum(1 for p in self._pools.values() if len(p) > 0)
+
+    def action_sizes(self) -> dict[int, int]:
+        """Unvisited-URL count per awake action, for frontier-shape
+        reports; insertion order (deterministic), empty pools omitted."""
+        return {a: len(p) for a, p in self._pools.items() if len(p) > 0}
+
     def action_of(self, url: str) -> int | None:
         return self._url_action.get(url)
 

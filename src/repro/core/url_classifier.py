@@ -31,6 +31,8 @@ from repro.ml.linear import (
     PassiveAggressiveClassifier,
 )
 from repro.ml.naive_bayes import MultinomialNaiveBayes
+from repro.obs.events import ClassifierBatchTrained
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.webgraph.mime import is_target_mime
 from repro.webgraph.model import PageKind, WebsiteGraph
 
@@ -88,11 +90,13 @@ class OnlineUrlClassifier:
         dim: int = _FEATURE_DIM,
         replay_buffer: int = 400,
         seed: int = 0,
+        observer: Observer | None = None,
     ) -> None:
         if feature_set not in ("URL_ONLY", "URL_CONT"):
             raise ValueError("feature_set must be URL_ONLY or URL_CONT")
         self.batch_size = batch_size
         self.feature_set = feature_set
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.dim = dim
         self.model = _make_model(model, dim, seed)
         self.initial_training_phase = True
@@ -156,6 +160,7 @@ class OnlineUrlClassifier:
         self._batch.vectors.append(features)
         self._batch.labels.append(y)
         if len(self._batch) >= self.batch_size:
+            fresh_examples = len(self._batch)
             vectors = self._batch.vectors + self._replay.vectors
             labels = self._batch.labels + self._replay.labels
             self.model.partial_fit(vectors, labels)
@@ -173,6 +178,15 @@ class OnlineUrlClassifier:
             # on target-dense sites the first batch is often all-HTML.
             if self._class_seen[0] and self._class_seen[1]:
                 self.initial_training_phase = False
+            if self.observer.enabled:
+                self.observer.on_event(
+                    ClassifierBatchTrained(
+                        n_batches=self.n_batches_trained,
+                        n_examples=fresh_examples,
+                        prequential_accuracy=self.prequential_accuracy(),
+                        recent_accuracy=self.recent_accuracy(),
+                    )
+                )
 
     @property
     def is_trained(self) -> bool:

@@ -10,6 +10,7 @@ methodology reuses one stored crawl database across analyses.
 from __future__ import annotations
 
 from dataclasses import replace
+from pathlib import Path
 from typing import Callable
 
 from repro.baselines import (
@@ -24,6 +25,7 @@ from repro.baselines import (
 from repro.core.base import Crawler, CrawlResult
 from repro.core.crawler import SBConfig, SBCrawler
 from repro.http.environment import CrawlEnvironment
+from repro.obs.sinks import JsonlSink
 from repro.webgraph.sites import PAPER_SITES, load_paper_site
 
 #: Row order of the comparison tables (paper's Tables 2–3).
@@ -64,10 +66,19 @@ def crawler_factory(name: str, seed: int = 1,
 
 
 class ResultCache:
-    """Memoises environments and crawl results for one process."""
+    """Memoises environments and crawl results for one process.
 
-    def __init__(self, scale: float = 1.0) -> None:
+    With ``trace_dir`` set, every *fresh* crawl (cache hits are replays,
+    not runs) records its full event stream to
+    ``<trace_dir>/<site>-<crawler>-s<seed>.jsonl`` — the file
+    ``python -m repro.obs report`` consumes (docs/observability.md).
+    """
+
+    def __init__(
+        self, scale: float = 1.0, trace_dir: str | Path | None = None
+    ) -> None:
         self.scale = scale
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self._envs: dict[str, CrawlEnvironment] = {}
         self._results: dict[tuple, CrawlResult] = {}
 
@@ -98,9 +109,38 @@ class ResultCache:
         cached = self._results.get(key)
         if cached is None:
             crawler = crawler_factory(crawler_name, seed=seed, sb_config=sb_config)
-            cached = crawler.crawl(self.env(site), budget=budget)
+            env = self.env(site)
+            if self.trace_dir is None:
+                cached = crawler.crawl(env, budget=budget)
+            else:
+                cached = self._run_traced(
+                    env, crawler, site, crawler_name, seed, budget
+                )
             self._results[key] = cached
         return cached
+
+    def _run_traced(
+        self,
+        env: CrawlEnvironment,
+        crawler: Crawler,
+        site: str,
+        crawler_name: str,
+        seed: int,
+        budget: float | None,
+    ) -> CrawlResult:
+        """One crawl with a JSONL event sink as the environment observer
+        (instruments every crawler's fetch stream, baselines included)."""
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
+        path = self.trace_dir / f"{site}-{crawler_name}-s{seed}.jsonl"
+        meta = {"crawler": crawler_name, "site": site, "seed": seed,
+                "scale": self.scale}
+        previous = env.observer
+        with JsonlSink(path, meta=meta) as sink:
+            env.observer = sink
+            try:
+                return crawler.crawl(env, budget=budget)
+            finally:
+                env.observer = previous
 
     def run_seeds(
         self,

@@ -14,6 +14,8 @@ from repro.analysis.trace import CrawlRecord, CrawlTrace
 from repro.http.ledger import CostLedger
 from repro.http.messages import Response
 from repro.http.server import SimulatedServer
+from repro.obs.events import FetchEvent
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.webgraph.mime import is_target_mime
 from repro.webgraph.model import same_site
 
@@ -31,12 +33,14 @@ class HttpClient:
         crawler_name: str = "",
         enforce_boundary: bool = True,
         target_mimes: frozenset[str] | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.server = server
         self.ledger = CostLedger()
         self.trace = CrawlTrace(crawler=crawler_name, site=server.graph.name)
         self.enforce_boundary = enforce_boundary
         self.target_mimes = target_mimes
+        self.observer = observer if observer is not None else NULL_OBSERVER
 
     # -- internals -----------------------------------------------------
 
@@ -71,6 +75,17 @@ class HttpClient:
                 is_target=is_target,
             )
         )
+        if self.observer.enabled:
+            self.observer.on_event(
+                FetchEvent(
+                    ordinal=self.ledger.n_requests,
+                    method=response.method,
+                    url=response.url,
+                    status=response.status,
+                    size=response.size,
+                    is_target=is_target,
+                )
+            )
 
     # -- public API ------------------------------------------------------
 

@@ -13,6 +13,7 @@ from repro.html.parse import ParsedPage, parse_page
 from repro.http.client import HttpClient
 from repro.http.messages import Response
 from repro.http.server import SimulatedServer
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.webgraph.model import WebsiteGraph, same_site
 
 
@@ -28,18 +29,31 @@ class CrawlEnvironment:
         self,
         graph: WebsiteGraph,
         target_mimes: frozenset[str] | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.graph = graph
         self.server = SimulatedServer(graph)
         self.target_mimes = target_mimes
+        #: default observer handed to every client (docs/observability.md);
+        #: instruments *any* crawler's fetch stream, baselines included.
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self._parse_cache: dict[str, ParsedPage] = {}
 
     # -- clients ---------------------------------------------------------
 
-    def new_client(self, crawler_name: str = "") -> HttpClient:
-        """A fresh client (own ledger/trace) sharing this environment."""
+    def new_client(
+        self, crawler_name: str = "", observer: Observer | None = None
+    ) -> HttpClient:
+        """A fresh client (own ledger/trace) sharing this environment.
+
+        ``observer`` overrides the environment-level default for this
+        client only (e.g. the SB crawler threading ``SBConfig.observer``).
+        """
         return HttpClient(
-            self.server, crawler_name=crawler_name, target_mimes=self.target_mimes
+            self.server,
+            crawler_name=crawler_name,
+            target_mimes=self.target_mimes,
+            observer=observer if observer is not None else self.observer,
         )
 
     def is_target_mime(self, mime: str | None) -> bool:

@@ -31,6 +31,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "ml": 10,
     "sd": 10,
     "analysis": 10,
+    "obs": 10,  # events/metrics are substrate; report replay peers with analysis
     "http": 20,
     "core": 30,
     "baselines": 40,

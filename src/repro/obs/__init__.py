@@ -1,0 +1,89 @@
+"""Observability: metrics, structured crawl events, and trace replay.
+
+A zero-dependency instrumentation layer for the crawl loop, built on
+three pieces (contract: docs/observability.md):
+
+* **events** — frozen :class:`CrawlEvent` dataclasses emitted at the
+  instrumented sites (HTTP client, bandit loop, action space,
+  classifier, early stopping); timestamps are request ordinals, never
+  wall-clock time;
+* **observers** — the pluggable :class:`Observer` protocol with a no-op
+  default (:data:`NULL_OBSERVER`), so the uninstrumented hot path pays
+  one attribute read per site;
+* **sinks & replay** — :class:`MemorySink`, :class:`JsonlSink`, the
+  :class:`MetricsObserver` fold into a :class:`MetricsRegistry`, and a
+  deterministic text :func:`crawl_report`; ``python -m repro.obs``
+  replays a recorded JSONL trace into per-step harvest-rate / regret
+  curves.
+
+Quickstart::
+
+    from repro import CrawlEnvironment, SBConfig, load_paper_site, sb_classifier
+    from repro.obs import MemorySink, crawl_report
+
+    sink = MemorySink()
+    env = CrawlEnvironment(load_paper_site("ju", scale=0.2))
+    result = sb_classifier(SBConfig(seed=1, observer=sink)).crawl(env, budget=500)
+    print(crawl_report(sink.events))
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    ActionCreated,
+    ActionSelected,
+    ClassifierBatchTrained,
+    CrawlEvent,
+    EarlyStopTriggered,
+    FetchEvent,
+    TargetFound,
+    event_from_dict,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsObserver,
+    MetricsRegistry,
+)
+from repro.obs.observer import NULL_OBSERVER, MultiObserver, NullObserver, Observer
+from repro.obs.report import (
+    crawl_report,
+    harvest_rate_curve,
+    regret_curve,
+    replay_metrics,
+    trace_from_events,
+)
+from repro.obs.sinks import JsonlSink, MemorySink, read_events
+
+__all__ = [
+    # events
+    "CrawlEvent",
+    "FetchEvent",
+    "ActionSelected",
+    "ActionCreated",
+    "ClassifierBatchTrained",
+    "TargetFound",
+    "EarlyStopTriggered",
+    "EVENT_TYPES",
+    "event_from_dict",
+    # observer protocol
+    "Observer",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "MultiObserver",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsObserver",
+    # sinks & replay
+    "MemorySink",
+    "JsonlSink",
+    "read_events",
+    "crawl_report",
+    "harvest_rate_curve",
+    "regret_curve",
+    "replay_metrics",
+    "trace_from_events",
+]

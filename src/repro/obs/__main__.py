@@ -1,0 +1,102 @@
+"""``python -m repro.obs`` — replay recorded event traces.
+
+Subcommands::
+
+    python -m repro.obs report trace.jsonl           # deterministic text report
+    python -m repro.obs curves trace.jsonl           # per-step harvest/regret CSV
+    python -m repro.obs curves trace.jsonl --every 50 --total-targets 120
+
+Exit codes: 0 success, 2 usage error (missing/unreadable/invalid file),
+mirroring ``python -m repro.lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.metrics import targets_vs_requests_curve
+from repro.obs.report import (
+    crawl_report,
+    harvest_rate_curve,
+    regret_curve,
+    trace_from_events,
+)
+from repro.obs.sinks import read_events
+
+
+def _load(path: str):
+    try:
+        return read_events(path)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"repro.obs: cannot read {path!r}: {error}")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    meta, events = _load(args.trace)
+    print(
+        crawl_report(
+            events,
+            crawler=str(meta.get("crawler", "")),
+            site=str(meta.get("site", "")),
+        ),
+        end="",
+    )
+    return 0
+
+
+def _cmd_curves(args: argparse.Namespace) -> int:
+    _, events = _load(args.trace)
+    trace = trace_from_events(events)
+    steps, rates = harvest_rate_curve(trace)
+    _, regrets = regret_curve(trace, total_targets=args.total_targets)
+    print("step,targets,harvest_rate,regret")
+    _, cumulative = targets_vs_requests_curve(trace)
+    for i in range(0, len(steps), max(1, args.every)):
+        print(f"{steps[i]},{int(cumulative[i])},{rates[i]:.6f},{regrets[i]}")
+    if steps and (len(steps) - 1) % max(1, args.every) != 0:
+        i = len(steps) - 1  # always include the final step
+        print(f"{steps[i]},{int(cumulative[i])},{rates[i]:.6f},{regrets[i]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Replay a recorded crawl-event trace (JSONL).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="deterministic text crawl report")
+    report.add_argument("trace", help="JSONL event trace written by JsonlSink")
+    report.set_defaults(func=_cmd_report)
+
+    curves = sub.add_parser(
+        "curves", help="per-step harvest-rate / regret curves as CSV"
+    )
+    curves.add_argument("trace", help="JSONL event trace written by JsonlSink")
+    curves.add_argument(
+        "--every", type=int, default=1,
+        help="emit every Nth step (default: every step)",
+    )
+    curves.add_argument(
+        "--total-targets", type=int, default=None,
+        help="site's total target count, to cap the OMNISCIENT ideal",
+    )
+    curves.set_defaults(func=_cmd_curves)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except SystemExit as error:
+        if isinstance(error.code, str):
+            print(error.code, file=sys.stderr)
+            return 2
+        raise
+
+
+if __name__ == "__main__":
+    sys.exit(main())

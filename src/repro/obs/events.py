@@ -1,0 +1,168 @@
+"""Structured crawl events: the observable record of one crawl.
+
+Every instrumented component emits frozen :class:`CrawlEvent`
+dataclasses through an :class:`~repro.obs.observer.Observer`.  The
+stream is *deterministic*: event timestamps are request ordinals (the
+1-based position in the crawler's HTTP ledger) or crawl-step counters,
+never wall-clock time, so the same seed yields a byte-identical event
+stream — the property the ``repro.lint`` DET rules protect.
+
+The full schema — one row per event type, with fields and emission
+site — is the contract table in docs/observability.md, enforced by
+``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar
+
+
+@dataclass(frozen=True)
+class CrawlEvent:
+    """Base class of all observable crawl events.
+
+    Subclasses declare a stable ``kind`` tag used by the JSONL wire
+    format (``{"e": "<kind>", ...fields}``).
+    """
+
+    #: stable wire-format tag; subclasses must override
+    kind: ClassVar[str] = "event"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-serialisable form: ``{"e": kind, **fields}``."""
+        payload: dict[str, Any] = {"e": self.kind}
+        for f in fields(self):
+            payload[f.name] = getattr(self, f.name)
+        return payload
+
+
+@dataclass(frozen=True)
+class FetchEvent(CrawlEvent):
+    """One HTTP request issued (GET or HEAD).
+
+    Emitted by ``HttpClient._record`` — the same site that feeds the
+    :class:`~repro.analysis.trace.CrawlTrace`, so the FetchEvent stream
+    reconstructs the trace exactly (see ``repro.obs.report``).
+    """
+
+    kind: ClassVar[str] = "fetch"
+
+    ordinal: int       # 1-based request number (ledger position)
+    method: str        # "GET" or "HEAD"
+    url: str
+    status: int
+    size: int          # bytes received
+    is_target: bool    # a newly retrieved target file
+
+
+@dataclass(frozen=True)
+class ActionSelected(CrawlEvent):
+    """One crawl-loop iteration: the bandit's pull and its outcome.
+
+    Emitted by ``SBCrawler.crawl`` after the selected page (plus any
+    redirect / immediate-target chain) has been processed.  ``action_id``
+    is ``-1`` while no action exists yet (uniform frontier draw);
+    ``reward`` is the number of targets retrieved by this pull — the
+    quantity fed to ``SleepingBandit.record_reward``.
+    """
+
+    kind: ClassVar[str] = "action_selected"
+
+    step: int          # pages fetched by the crawler so far (crawl step t)
+    action_id: int     # chosen arm, or -1 for the pre-action phase
+    score: float       # bandit score of the chosen arm (0.0 when random)
+    n_awake: int       # awake actions at selection time
+    frontier_size: int # frontier URLs remaining after the pop
+    url: str           # the URL drawn from the action's pool
+    reward: int        # targets retrieved by this pull
+
+
+@dataclass(frozen=True)
+class ActionCreated(CrawlEvent):
+    """A new action (tag-path cluster) entered the action space.
+
+    Emitted by ``SBCrawler`` when ``ActionSpace.assign`` mints a fresh
+    cluster (Algorithm 1's "create singleton" branch).
+    """
+
+    kind: ClassVar[str] = "action_created"
+
+    action_id: int
+    tag_path: str      # the tag path that seeded the cluster
+    n_actions: int     # total actions after creation
+    step: int          # crawl step at creation time
+
+
+@dataclass(frozen=True)
+class ClassifierBatchTrained(CrawlEvent):
+    """The online URL classifier completed one ``partial_fit`` batch.
+
+    Emitted by ``OnlineUrlClassifier.add_labeled`` (Algorithm 2's
+    training trigger).  Accuracies are prequential (test-then-train),
+    0.0 until the model has made its first evaluated prediction.
+    """
+
+    kind: ClassVar[str] = "classifier_batch_trained"
+
+    n_batches: int              # batches trained so far (this one included)
+    n_examples: int             # fresh labelled URLs in this batch
+    prequential_accuracy: float # cumulative test-then-train accuracy
+    recent_accuracy: float      # accuracy over the last <=500 labels
+
+
+@dataclass(frozen=True)
+class TargetFound(CrawlEvent):
+    """A target file was retrieved and counted.
+
+    Emitted by ``SBCrawler._crawl_next_page`` when a GET response's
+    MIME type confirms a target.  ``ordinal`` matches the
+    :class:`FetchEvent` of the confirming request.
+    """
+
+    kind: ClassVar[str] = "target_found"
+
+    ordinal: int       # request ordinal of the confirming GET
+    url: str
+    n_targets: int     # distinct targets retrieved so far (this one included)
+
+
+@dataclass(frozen=True)
+class EarlyStopTriggered(CrawlEvent):
+    """The Sec. 4.8 early-stopping rule fired.
+
+    Emitted by ``EarlyStoppingMonitor.observe`` at the step where the
+    discovery-slope EMA stayed below the threshold for ``patience``
+    consecutive windows.
+    """
+
+    kind: ClassVar[str] = "early_stop"
+
+    step: int          # monitor iteration at which the rule fired
+    ema: float         # the EMA value that triggered the stop
+    window: int        # nu
+    patience: int      # kappa
+
+
+#: Wire-format registry: kind tag -> event class.
+EVENT_TYPES: dict[str, type[CrawlEvent]] = {
+    cls.kind: cls
+    for cls in (
+        FetchEvent,
+        ActionSelected,
+        ActionCreated,
+        ClassifierBatchTrained,
+        TargetFound,
+        EarlyStopTriggered,
+    )
+}
+
+
+def event_from_dict(payload: dict[str, Any]) -> CrawlEvent:
+    """Inverse of :meth:`CrawlEvent.to_dict`; raises on unknown kinds."""
+    kind = payload.get("e")
+    cls = EVENT_TYPES.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(f"unknown event kind: {kind!r}")
+    kwargs = {k: v for k, v in payload.items() if k != "e"}
+    return cls(**kwargs)

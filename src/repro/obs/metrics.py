@@ -1,0 +1,280 @@
+"""Metrics: counters, gauges, fixed-bucket histograms, and the
+event-to-metric fold.
+
+A :class:`MetricsRegistry` is a flat, name-keyed collection of three
+instrument kinds (the Prometheus core types, minus labels — one
+instrument per name keeps rendering deterministic and the hot path
+allocation-free).  :class:`MetricsObserver` is an
+:class:`~repro.obs.observer.Observer` that folds the crawl-event
+stream into a registry, implementing the metric catalogue documented
+in docs/observability.md.
+
+Rendering is deterministic: instruments sort by name, floats print
+with a fixed format, and nothing reads the clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.obs.events import (
+    ActionCreated,
+    ActionSelected,
+    ClassifierBatchTrained,
+    CrawlEvent,
+    EarlyStopTriggered,
+    FetchEvent,
+    TargetFound,
+)
+
+
+def _fmt(value: float) -> str:
+    """Fixed float rendering: integers stay integral, else 6 significant
+    digits — stable across platforms."""
+    if isinstance(value, int) or value == int(value):
+        return str(int(value))
+    return format(value, ".6g")
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (requests, errors, targets)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def render(self) -> str:
+        return f"counter   {self.name} {_fmt(self.value)}"
+
+
+@dataclass
+class Gauge:
+    """Instantaneous level (frontier size, actions awake, accuracy)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def render(self) -> str:
+        return f"gauge     {self.name} {_fmt(self.value)}"
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram: counts of observations ``v <= bound``.
+
+    Buckets are per-bucket (not cumulative) counts over the given sorted
+    upper bounds, plus an implicit ``+inf`` overflow bucket.  Fixed
+    buckets keep observation O(#buckets) with zero allocation.
+    """
+
+    name: str
+    buckets: tuple[float, ...] = ()
+    help: str = ""
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    n: int = 0
+
+    def __post_init__(self) -> None:
+        bounds = tuple(sorted(self.buckets))
+        if bounds != tuple(self.buckets):
+            raise ValueError(f"histogram {self.name}: buckets must be sorted")
+        if not self.counts:
+            self.counts = [0] * (len(bounds) + 1)  # + overflow
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.n += 1
+
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"histogram {self.name} count={self.n} sum={_fmt(self.total)} "
+            f"mean={_fmt(round(self.mean(), 6))}"
+        ]
+        for bound, count in zip(self.buckets, self.counts):
+            lines.append(f"  le={_fmt(bound)} {count}")
+        lines.append(f"  le=+inf {self.counts[-1]}")
+        return "\n".join(lines)
+
+
+class MetricsRegistry:
+    """Name-keyed instruments with get-or-create accessors.
+
+    Re-requesting a name returns the existing instrument; requesting an
+    existing name as a different kind raises, so two components cannot
+    silently shadow each other's series.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...], help: str = ""
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, buckets=buckets, help=help)
+        )
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def as_dict(self) -> dict[str, float | dict]:
+        """Scalar snapshot: counters/gauges map to their value,
+        histograms to ``{count, sum, mean}``."""
+        snapshot: dict[str, float | dict] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                snapshot[name] = {
+                    "count": instrument.n,
+                    "sum": instrument.total,
+                    "mean": instrument.mean(),
+                }
+            else:
+                snapshot[name] = instrument.value
+        return snapshot
+
+    def render(self) -> str:
+        """Deterministic text dump, instruments sorted by name."""
+        return "\n".join(
+            self._instruments[name].render() for name in self.names()
+        )
+
+
+# -- the event -> metric fold ----------------------------------------------
+
+#: response-size buckets (bytes): 1 KB .. 10 MB
+SIZE_BUCKETS: tuple[float, ...] = (1e3, 1e4, 1e5, 1e6, 1e7)
+#: targets retrieved per bandit pull
+REWARD_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0)
+#: requests elapsed between consecutive targets ("latency" in simulated
+#: steps — the politeness-delay-free analogue of wall-clock latency)
+GAP_BUCKETS: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0)
+
+
+class MetricsObserver:
+    """Observer that folds crawl events into a :class:`MetricsRegistry`.
+
+    The mapping (event -> instruments) is the metric catalogue of
+    docs/observability.md; changing it there and here together is the
+    contract.
+    """
+
+    enabled = True
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._requests = r.counter("requests_total", "GET + HEAD requests issued")
+        self._gets = r.counter("requests_get", "GET requests issued")
+        self._heads = r.counter("requests_head", "HEAD requests issued")
+        self._errors = r.counter("responses_error", "responses with status >= 400")
+        self._redirects = r.counter("responses_redirect", "3xx responses")
+        self._bytes = r.counter("bytes_total", "response bytes received")
+        self._sizes = r.histogram(
+            "response_size_bytes", SIZE_BUCKETS, "response size distribution"
+        )
+        self._targets = r.counter("targets_total", "target files retrieved")
+        self._gaps = r.histogram(
+            "target_gap_requests", GAP_BUCKETS,
+            "requests between consecutive targets (simulated-step latency)",
+        )
+        self._steps = r.counter("steps_total", "crawl-loop iterations (pulls)")
+        self._rewards = r.histogram(
+            "reward_per_pull", REWARD_BUCKETS, "targets retrieved per pull"
+        )
+        self._frontier = r.gauge("frontier_size", "unvisited URLs in the frontier")
+        self._awake = r.gauge("actions_awake", "actions with unvisited links")
+        self._actions = r.gauge("actions_total", "actions created so far")
+        self._batches = r.counter(
+            "classifier_batches_trained", "online-classifier training batches"
+        )
+        self._preq = r.gauge(
+            "classifier_prequential_accuracy", "cumulative test-then-train accuracy"
+        )
+        self._recent = r.gauge(
+            "classifier_recent_accuracy", "accuracy over the last <=500 labels"
+        )
+        self._early = r.counter("early_stops", "early-stopping rule firings")
+        self._last_target_ordinal = 0
+
+    def on_event(self, event: CrawlEvent) -> None:
+        if isinstance(event, FetchEvent):
+            self._requests.inc()
+            if event.method == "GET":
+                self._gets.inc()
+            elif event.method == "HEAD":
+                self._heads.inc()
+            if event.status >= 400:
+                self._errors.inc()
+            elif 300 <= event.status < 400:
+                self._redirects.inc()
+            self._bytes.inc(event.size)
+            self._sizes.observe(event.size)
+            if event.is_target:
+                self._targets.inc()
+                self._gaps.observe(event.ordinal - self._last_target_ordinal)
+                self._last_target_ordinal = event.ordinal
+        elif isinstance(event, ActionSelected):
+            self._steps.inc()
+            self._rewards.observe(event.reward)
+            self._frontier.set(event.frontier_size)
+            self._awake.set(event.n_awake)
+        elif isinstance(event, ActionCreated):
+            self._actions.set(event.n_actions)
+        elif isinstance(event, ClassifierBatchTrained):
+            self._batches.inc()
+            self._preq.set(event.prequential_accuracy)
+            self._recent.set(event.recent_accuracy)
+        elif isinstance(event, TargetFound):
+            pass  # counted from the confirming FetchEvent
+        elif isinstance(event, EarlyStopTriggered):
+            self._early.inc()
+
+    def harvest_rate(self) -> float:
+        """Targets per request so far (0.0 before the first request)."""
+        requests = self._requests.value
+        if requests <= 0 or math.isinf(requests):
+            return 0.0
+        return self._targets.value / requests

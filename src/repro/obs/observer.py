@@ -1,0 +1,66 @@
+"""The observer contract: how instrumented components publish events.
+
+An *observer* is anything with an ``enabled`` flag and an
+``on_event(event)`` method (structural :class:`Observer` protocol).
+Instrumented components hold exactly one observer and guard every
+emission site with ``if observer.enabled:`` — with the default
+:data:`NULL_OBSERVER` the guard is a single attribute read, so the
+uninstrumented hot path stays free (the <5 % regression budget of
+``benchmarks/test_bench_components.py``).
+
+The contract is documented in docs/observability.md; sinks that
+implement it live in ``repro.obs.sinks`` and
+``repro.obs.metrics.MetricsObserver``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.obs.events import CrawlEvent
+
+
+@runtime_checkable
+class Observer(Protocol):
+    """Structural protocol every event consumer implements."""
+
+    #: emission sites skip event construction entirely when False
+    enabled: bool
+
+    def on_event(self, event: CrawlEvent) -> None:
+        """Receive one event.  Must not mutate it and must not raise —
+        a failing observer would corrupt the crawl it watches."""
+        ...
+
+
+class NullObserver:
+    """The default no-op observer: ``enabled`` is False, so guarded
+    emission sites never even construct the event object."""
+
+    enabled: bool = False
+
+    def on_event(self, event: CrawlEvent) -> None:
+        """Ignore the event (only reached by unguarded callers)."""
+
+
+#: Shared no-op instance used as the default everywhere.
+NULL_OBSERVER = NullObserver()
+
+
+class MultiObserver:
+    """Fan one event stream out to several observers.
+
+    Disabled children are dropped at construction, and the composite is
+    itself disabled when nothing remains — nesting MultiObservers keeps
+    the zero-cost property intact.
+    """
+
+    def __init__(self, observers: list[Observer] | tuple[Observer, ...]) -> None:
+        self.observers: tuple[Observer, ...] = tuple(
+            o for o in observers if o.enabled
+        )
+        self.enabled = bool(self.observers)
+
+    def on_event(self, event: CrawlEvent) -> None:
+        for observer in self.observers:
+            observer.on_event(event)

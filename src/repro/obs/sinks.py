@@ -1,0 +1,114 @@
+"""Event sinks: in-memory capture and JSONL persistence.
+
+The JSONL wire format (one header line, then one event per line) is
+specified in docs/observability.md and mirrors
+``repro.analysis.trace_io``:
+
+* line 1 — header: ``{"format": 1, "stream": "repro.obs", ...meta}``;
+* lines 2..n — events: ``{"e": "<kind>", ...fields}`` with compact
+  separators, fields in dataclass declaration order.
+
+Nothing here reads the clock: files contain only what the event stream
+carries, so the same seed produces byte-identical trace files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.events import CrawlEvent, event_from_dict
+
+#: JSONL format version written to (and demanded from) header lines.
+FORMAT_VERSION = 1
+#: Header ``stream`` tag distinguishing event traces from request traces.
+STREAM_TAG = "repro.obs"
+
+
+class MemorySink:
+    """Keeps every event in a list; the default sink for tests and
+    interactive inspection."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[CrawlEvent] = []
+
+    def on_event(self, event: CrawlEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[CrawlEvent]:
+        """Events whose wire tag equals ``kind`` (e.g. ``"fetch"``)."""
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        """Event count per kind, sorted by kind for stable reporting."""
+        tally: dict[str, int] = {}
+        for event in self.events:
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlSink:
+    """Streams events to a JSONL file; use as a context manager (or call
+    :meth:`close`) so the file is flushed before readers open it."""
+
+    enabled = True
+
+    def __init__(
+        self, path: str | Path, meta: dict[str, object] | None = None
+    ) -> None:
+        self.path = Path(path)
+        self.n_events = 0
+        self._handle = self.path.open("w", encoding="utf-8")
+        header = {"format": FORMAT_VERSION, "stream": STREAM_TAG}
+        if meta:
+            header.update(meta)
+        self._handle.write(json.dumps(header, separators=(",", ":")) + "\n")
+
+    def on_event(self, event: CrawlEvent) -> None:
+        self._handle.write(
+            json.dumps(event.to_dict(), separators=(",", ":")) + "\n"
+        )
+        self.n_events += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> tuple[dict[str, object], list[CrawlEvent]]:
+    """Read a JSONL event trace back: ``(header_meta, events)``.
+
+    Raises ``ValueError`` on an empty file, a wrong format version, or
+    an unknown event kind — a truncated or foreign file fails loudly.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line.strip():
+            raise ValueError(f"empty event trace: {path}")
+        header = json.loads(header_line)
+        if header.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported event-trace format: {header.get('format')!r}"
+            )
+        events = [
+            event_from_dict(json.loads(line))
+            for line in handle
+            if line.strip()
+        ]
+    meta = {k: v for k, v in header.items() if k not in ("format", "stream")}
+    return meta, events

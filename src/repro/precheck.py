@@ -1,0 +1,80 @@
+"""The pre-PR check: linter + documentation gates in one command.
+
+Runs, in order, from the repository root::
+
+    python -m repro.lint src          # determinism & invariant linter
+    python -m pytest tests/test_docs.py tests/test_obs_events.py
+                                      # doc gates: README/API/observability
+                                      # contracts hold as written
+
+Invoke as ``python -m repro.precheck`` (or the ``repro-precheck``
+console script when the package is installed).  Exit code is 0 only
+when every step passes — the same gate CI applies, runnable locally
+before opening a PR (documented in docs/static_analysis.md).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+#: (description, argv) pairs run relative to the repository root.
+CHECKS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("determinism & invariant lint", ("-m", "repro.lint", "src")),
+    (
+        "documentation gates",
+        ("-m", "pytest", "-q", "tests/test_docs.py", "tests/test_obs_events.py"),
+    ),
+)
+
+
+def repo_root() -> Path:
+    """The checkout root: the directory holding ``src/`` and ``tests/``.
+
+    Derived from this file's location (``<root>/src/repro/precheck.py``),
+    so the command works from any working directory inside the repo.
+    """
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def build_commands(python: str | None = None) -> list[tuple[str, list[str]]]:
+    """The concrete command lines (for display and for tests)."""
+    interpreter = python if python is not None else sys.executable
+    return [(label, [interpreter, *argv]) for label, argv in CHECKS]
+
+
+def main(argv: list[str] | None = None) -> int:
+    del argv  # no flags: the check is deliberately one-shaped
+    root = repo_root()
+    if not (root / "src").is_dir() or not (root / "tests").is_dir():
+        print(
+            f"repro.precheck: {root} does not look like the repository "
+            "root (need src/ and tests/); run from a source checkout",
+            file=sys.stderr,
+        )
+        return 2
+    env = dict(os.environ)
+    src = str(root / "src")
+    existing = env.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    failures = 0
+    for label, command in build_commands():
+        print(f"== {label}: {' '.join(command[1:])}")
+        result = subprocess.run(command, cwd=root, env=env)
+        if result.returncode != 0:
+            failures += 1
+            print(f"== {label}: FAILED (exit {result.returncode})")
+        else:
+            print(f"== {label}: ok")
+    if failures:
+        print(f"repro.precheck: {failures} of {len(CHECKS)} checks failed")
+        return 1
+    print("repro.precheck: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

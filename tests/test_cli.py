@@ -31,6 +31,20 @@ def test_cli_rejects_unknown_experiment():
         main(["table99"])
 
 
+def test_precheck_builds_the_documented_commands():
+    """The pre-PR check bundles lint + doc gates (docs/static_analysis.md)."""
+    from repro.precheck import build_commands, repo_root
+
+    commands = build_commands(python="PY")
+    assert [argv for _, argv in commands] == [
+        ["PY", "-m", "repro.lint", "src"],
+        ["PY", "-m", "pytest", "-q", "tests/test_docs.py",
+         "tests/test_obs_events.py"],
+    ]
+    root = repo_root()
+    assert (root / "src").is_dir() and (root / "tests").is_dir()
+
+
 def test_cli_compare(capsys):
     assert main(["compare", "--scale", "0.05"]) == 0
     out = capsys.readouterr().out

@@ -51,3 +51,67 @@ def test_paper_mime_list_documented():
     from repro.webgraph.mime import TARGET_MIME_TYPES
 
     assert len(TARGET_MIME_TYPES) == 38  # Appendix A.2
+
+
+def test_api_doc_covers_top_level_exports():
+    """docs/api.md names every ``repro.__all__`` export (drift gate)."""
+    import repro
+
+    api = (REPO / "docs" / "api.md").read_text()
+    for name in repro.__all__:
+        assert name in api, f"{name} missing from docs/api.md"
+
+
+def _python_blocks(markdown: str) -> list[str]:
+    """The contents of every ```python fenced block, in order."""
+    blocks = []
+    inside = False
+    current: list[str] = []
+    for line in markdown.splitlines():
+        if line.strip() == "```python":
+            inside, current = True, []
+        elif inside and line.strip() == "```":
+            inside = False
+            blocks.append("\n".join(current))
+        elif inside:
+            current.append(line)
+    return blocks
+
+
+def test_observability_doc_covers_every_event():
+    """Every CrawlEvent subclass — name, wire tag, and each field — has
+    a row in the docs/observability.md schema table."""
+    import dataclasses
+
+    from repro.obs import events as ev
+
+    doc = (REPO / "docs" / "observability.md").read_text()
+    subclasses = [cls for cls in vars(ev).values()
+                  if isinstance(cls, type) and issubclass(cls, ev.CrawlEvent)
+                  and cls is not ev.CrawlEvent]
+    assert subclasses, "no CrawlEvent subclasses found"
+    assert set(ev.EVENT_TYPES.values()) == set(subclasses), \
+        "EVENT_TYPES registry out of sync with the subclasses"
+    for cls in subclasses:
+        assert f"`{cls.__name__}`" in doc, cls.__name__
+        assert f"`{cls.kind}`" in doc, f"{cls.__name__} kind tag"
+        for f in dataclasses.fields(cls):
+            assert f"`{f.name}`" in doc, f"{cls.__name__}.{f.name}"
+
+
+def test_observability_doc_covers_every_metric():
+    """The metric catalogue table names every registered instrument."""
+    from repro.obs import MetricsObserver
+
+    doc = (REPO / "docs" / "observability.md").read_text()
+    for name in MetricsObserver().registry.names():
+        assert f"`{name}`" in doc, f"metric {name} missing from catalogue"
+
+
+def test_observability_worked_example_runs_as_written():
+    """The docs/observability.md worked example executes verbatim
+    (its own asserts check event counts against the CrawlResult)."""
+    doc = (REPO / "docs" / "observability.md").read_text()
+    snippets = [b for b in _python_blocks(doc) if "MemorySink()" in b]
+    assert snippets, "worked example block not found"
+    exec(compile(snippets[0], "docs/observability.md", "exec"), {})

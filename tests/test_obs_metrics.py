@@ -1,0 +1,140 @@
+"""Metrics instruments, registry semantics, and the event→metric fold."""
+
+import pytest
+
+from repro.obs import MetricsObserver, MetricsRegistry
+from repro.obs.events import (
+    ActionCreated,
+    ActionSelected,
+    ClassifierBatchTrained,
+    EarlyStopTriggered,
+    FetchEvent,
+    TargetFound,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+def test_counter_increments_and_rejects_decrease():
+    c = Counter("requests_total")
+    c.inc()
+    c.inc(3)
+    assert c.value == 4
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.render() == "counter   requests_total 4"
+
+
+def test_gauge_tracks_last_value():
+    g = Gauge("frontier_size")
+    g.set(10)
+    g.set(7)
+    assert g.value == 7
+    assert g.render() == "gauge     frontier_size 7"
+
+
+def test_histogram_buckets_and_overflow():
+    h = Histogram("sizes", buckets=(10.0, 100.0))
+    for value in (5, 10, 50, 1000):
+        h.observe(value)
+    # per-bucket counts: <=10 twice (5, 10), <=100 once (50), +inf once
+    assert h.counts == [2, 1, 1]
+    assert h.n == 4
+    assert h.total == 1065
+    assert h.mean() == pytest.approx(266.25)
+    rendered = h.render()
+    assert "count=4 sum=1065" in rendered
+    assert "le=+inf 1" in rendered
+
+
+def test_histogram_requires_sorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=(10.0, 1.0))
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    r = MetricsRegistry()
+    a = r.counter("x")
+    b = r.counter("x")
+    assert a is b
+    a.inc()
+    assert r.get("x").value == 1
+    assert r.get("missing") is None
+
+
+def test_registry_rejects_kind_mismatch():
+    r = MetricsRegistry()
+    r.counter("x")
+    with pytest.raises(TypeError):
+        r.gauge("x")
+    with pytest.raises(TypeError):
+        r.histogram("x", buckets=(1.0,))
+
+
+def test_registry_render_is_name_sorted_and_deterministic():
+    r = MetricsRegistry()
+    r.gauge("zeta").set(1.5)
+    r.counter("alpha").inc(2)
+    assert r.names() == ["alpha", "zeta"]
+    assert r.render() == "counter   alpha 2\ngauge     zeta 1.5"
+    assert r.render() == r.render()
+    assert r.as_dict() == {"alpha": 2, "zeta": 1.5}
+
+
+def test_metrics_observer_folds_fetch_events():
+    obs = MetricsObserver()
+    obs.on_event(FetchEvent(ordinal=1, method="GET", url="u1", status=200,
+                            size=100, is_target=False))
+    obs.on_event(FetchEvent(ordinal=2, method="HEAD", url="u2", status=301,
+                            size=0, is_target=False))
+    obs.on_event(FetchEvent(ordinal=3, method="GET", url="u3", status=404,
+                            size=50, is_target=False))
+    obs.on_event(FetchEvent(ordinal=4, method="GET", url="u4", status=200,
+                            size=2000, is_target=True))
+    snap = obs.registry.as_dict()
+    assert snap["requests_total"] == 4
+    assert snap["requests_get"] == 3
+    assert snap["requests_head"] == 1
+    assert snap["responses_redirect"] == 1
+    assert snap["responses_error"] == 1
+    assert snap["bytes_total"] == 2150
+    assert snap["targets_total"] == 1
+    assert snap["response_size_bytes"]["count"] == 4
+    # first target at ordinal 4 -> gap of 4 requests since "start"
+    assert snap["target_gap_requests"] == {"count": 1, "sum": 4, "mean": 4.0}
+    assert obs.harvest_rate() == pytest.approx(0.25)
+
+
+def test_metrics_observer_folds_crawler_events():
+    obs = MetricsObserver()
+    obs.on_event(ActionSelected(step=1, action_id=-1, score=0.0, n_awake=0,
+                                frontier_size=24, url="u", reward=0))
+    obs.on_event(ActionCreated(action_id=0, tag_path="html/body/a",
+                               n_actions=1, step=1))
+    obs.on_event(ActionSelected(step=2, action_id=0, score=1.25, n_awake=1,
+                                frontier_size=30, url="v", reward=2))
+    obs.on_event(ClassifierBatchTrained(n_batches=1, n_examples=50,
+                                        prequential_accuracy=0.9,
+                                        recent_accuracy=0.88))
+    obs.on_event(TargetFound(ordinal=9, url="t", n_targets=1))
+    obs.on_event(EarlyStopTriggered(step=40, ema=0.01, window=10, patience=3))
+    snap = obs.registry.as_dict()
+    assert snap["steps_total"] == 2
+    assert snap["reward_per_pull"] == {"count": 2, "sum": 2, "mean": 1.0}
+    assert snap["frontier_size"] == 30       # gauge: last value wins
+    assert snap["actions_awake"] == 1
+    assert snap["actions_total"] == 1
+    assert snap["classifier_batches_trained"] == 1
+    assert snap["classifier_prequential_accuracy"] == 0.9
+    assert snap["classifier_recent_accuracy"] == 0.88
+    assert snap["early_stops"] == 1
+    # TargetFound itself adds nothing: targets count from FetchEvents
+    assert snap["targets_total"] == 0
+
+
+def test_metrics_observer_shares_external_registry():
+    r = MetricsRegistry()
+    obs = MetricsObserver(r)
+    assert obs.registry is r
+    obs.on_event(FetchEvent(ordinal=1, method="GET", url="u", status=200,
+                            size=10, is_target=False))
+    assert r.get("requests_total").value == 1
