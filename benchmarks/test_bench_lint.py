@@ -1,0 +1,58 @@
+"""Wall-time benchmark of the whole-program lint pass: the incremental
+cache must make warm re-runs at least 5x faster than a cold run, or the
+self-lint gate and ``repro.precheck`` stop being the cheap pre-PR check
+they are documented to be (docs/static_analysis.md, Cache semantics)."""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.lint import Linter, load_pyproject_config
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+REFERENCE_ROOTS = [REPO / name for name in ("src", "tests", "examples",
+                                            "benchmarks")]
+
+#: Required speedup of a fully cached re-run over the cold run.
+MIN_SPEEDUP = 5.0
+
+
+def _timed_run(cache_path: Path):
+    config = load_pyproject_config(REPO / "pyproject.toml")
+    linter = Linter(config)
+    start = time.perf_counter()
+    run = linter.run([SRC], project=True, cache_path=cache_path,
+                     reference_roots=REFERENCE_ROOTS)
+    return time.perf_counter() - start, run
+
+
+def test_bench_cached_full_repo_lint_speedup(tmp_path, results_dir):
+    cache = tmp_path / "lint-cache.json"
+    cold_seconds, cold = _timed_run(cache)
+    warm_seconds, warm = _timed_run(cache)
+
+    # Same verdict either way — caching must never change findings.
+    assert cold.findings == warm.findings == []
+    assert cold.cache.misses == cold.cache.files > 0
+    assert warm.cache.hits == warm.cache.files
+    assert warm.cache.misses == 0
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    record = {
+        "files": cold.cache.files,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+    }
+    (results_dir / "lint_cache_bench.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"cached lint only {speedup:.1f}x faster than cold "
+        f"({warm_seconds:.3f}s vs {cold_seconds:.3f}s); "
+        f"need >= {MIN_SPEEDUP}x"
+    )

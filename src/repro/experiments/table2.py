@@ -7,7 +7,7 @@ from dataclasses import dataclass
 
 from repro.analysis.metrics import requests_to_fraction
 from repro.core.crawler import SBConfig
-from repro.experiments import paperdata
+import repro.experiments.paperdata as paperdata
 from repro.experiments.config import ExperimentConfig, scaled_early_stopping
 from repro.experiments.report import render_table
 from repro.experiments.runner import (

@@ -6,7 +6,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.metrics import non_target_volume_fraction, site_non_target_bytes
-from repro.experiments import paperdata
+import repro.experiments.paperdata as paperdata
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import render_table
 from repro.experiments.runner import (

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.analysis.metrics import requests_to_fraction
 from repro.core.crawler import SBConfig
-from repro.experiments import paperdata
+import repro.experiments.paperdata as paperdata
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import fmt_cell, render_table
 from repro.experiments.runner import ResultCache, default_cache

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.experiments import paperdata
+import repro.experiments.paperdata as paperdata
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import render_table
 from repro.experiments.runner import ResultCache, default_cache

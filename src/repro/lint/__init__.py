@@ -23,19 +23,34 @@ and asserts zero findings, so violations cannot creep in under refactor
 pressure.  See ``docs/static_analysis.md`` for the rule catalogue.
 """
 
+from repro.lint.cache import CacheStats, LintCache
 from repro.lint.config import RuleConfig, load_pyproject_config
-from repro.lint.engine import Finding, LintUsageError, Linter, Rule
+from repro.lint.engine import (Finding, LintRun, LintUsageError, Linter,
+                               Rule, scan_noqa)
+from repro.lint.project import (ProjectModel, ProjectRule, build_project,
+                                default_project_rules)
 from repro.lint.reporters import render_json, render_text
 from repro.lint.rules import default_rules
+from repro.lint.symbols import ModuleSymbols, extract_symbols
 
 __all__ = [
+    "CacheStats",
     "Finding",
+    "LintCache",
+    "LintRun",
     "LintUsageError",
     "Linter",
+    "ModuleSymbols",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
     "RuleConfig",
+    "build_project",
+    "default_project_rules",
     "default_rules",
+    "extract_symbols",
     "load_pyproject_config",
     "render_json",
     "render_text",
+    "scan_noqa",
 ]

@@ -75,6 +75,28 @@ class RuleConfig:
         return posix_path.endswith(self.rng_module)
 
 
+def config_digest(config: RuleConfig) -> str:
+    """Stable digest of the effective configuration.
+
+    Part of the incremental-cache key: any change to the knobs that can
+    alter findings (disabled rules, excludes, layer ranks, API001/FLOW001
+    scope, the RNG-module exemption) must invalidate cached results.
+    """
+    import hashlib
+    import json
+
+    payload = {
+        "disable": sorted(config.disable),
+        "exclude": list(config.exclude),
+        "layers": dict(sorted(config.layers.items())),
+        "seeded_packages": list(config.seeded_packages),
+        "rng_module": config.rng_module,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
 def load_pyproject_config(pyproject_path: str | Path | None = None) -> RuleConfig:
     """Build a :class:`RuleConfig` from ``[tool.repro-lint]``.
 

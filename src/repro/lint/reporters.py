@@ -4,12 +4,24 @@ from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.lint.engine import Finding
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.cache import CacheStats
 
-def render_text(findings: Iterable[Finding]) -> str:
+
+def _cache_line(cache: "CacheStats") -> str:
+    if not cache.enabled:
+        return "cache: disabled"
+    return (f"cache: {cache.files} files, {cache.hits} hits, "
+            f"{cache.misses} misses")
+
+
+def render_text(
+    findings: Iterable[Finding], cache: "CacheStats | None" = None
+) -> str:
     """``path:line:col: CODE message`` per finding plus a summary line."""
     findings = list(findings)
     lines = [
@@ -27,15 +39,25 @@ def render_text(findings: Iterable[Finding]) -> str:
             f"repro.lint: {len(findings)} finding"
             f"{'s' if len(findings) != 1 else ''} ({breakdown})"
         )
+    if cache is not None and cache.enabled:
+        lines.append(_cache_line(cache))
     return "\n".join(lines)
 
 
-def render_json(findings: Iterable[Finding]) -> str:
-    """Stable JSON document for CI annotation tooling."""
+def render_json(
+    findings: Iterable[Finding], cache: "CacheStats | None" = None
+) -> str:
+    """Stable JSON document for CI annotation tooling.
+
+    The ``cache`` key carries the incremental-cache statistics of the
+    run (``{"enabled", "files", "hits", "misses"}``) so CI can assert
+    warm runs really are warm; it is ``null`` for cache-less calls.
+    """
     findings = list(findings)
     document = {
         "tool": "repro.lint",
         "count": len(findings),
         "findings": [finding.to_dict() for finding in findings],
+        "cache": cache.to_dict() if cache is not None else None,
     }
     return json.dumps(document, indent=2, sort_keys=True)

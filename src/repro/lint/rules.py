@@ -14,6 +14,12 @@ import ast
 
 from repro.lint.engine import FileContext, Rule
 
+#: Bumped whenever any rule's behaviour changes (per-file or FLOW), so
+#: the incremental cache (`repro.lint.cache`) cannot serve findings
+#: computed by an older rule set.  The active rule codes and the config
+#: digest are mixed into the cache key separately.
+RULESET_VERSION = "2026.08-3"
+
 
 def _dotted_name(node: ast.AST) -> str:
     """``a.b.c`` for a Name/Attribute chain, else ``""``."""

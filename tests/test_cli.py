@@ -37,7 +37,7 @@ def test_precheck_builds_the_documented_commands():
 
     commands = build_commands(python="PY")
     assert [argv for _, argv in commands] == [
-        ["PY", "-m", "repro.lint", "src"],
+        ["PY", "-m", "repro.lint", "--project", "src"],
         ["PY", "-m", "pytest", "-q", "tests/test_docs.py",
          "tests/test_obs_events.py"],
     ]

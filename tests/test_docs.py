@@ -16,6 +16,18 @@ def test_readme_quickstart_snippet():
     assert result.n_targets >= 0
 
 
+def test_package_version_matches_pyproject():
+    """``repro.__version__`` is the single version the docs point at; it
+    must stay in lockstep with the ``pyproject.toml`` metadata."""
+    import tomllib
+
+    import repro
+
+    with open(REPO / "pyproject.toml", "rb") as handle:
+        pyproject = tomllib.load(handle)
+    assert repro.__version__ == pyproject["project"]["version"]
+
+
 def test_readme_mentions_every_example():
     readme = (REPO / "README.md").read_text()
     for example in (REPO / "examples").glob("*.py"):

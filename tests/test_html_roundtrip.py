@@ -69,6 +69,16 @@ def test_round_trip_recovers_links(links):
     assert want == got
 
 
+def test_extract_links_matches_parse_page(small_site):
+    """The ``extract_links`` convenience wrapper returns exactly the
+    link list of a full ``parse_page`` — nothing dropped, same order."""
+    from repro.html import extract_links
+
+    for page in list(small_site.html_pages())[:10]:
+        html_text = render_page(page)
+        assert extract_links(html_text) == parse_page(html_text).links
+
+
 def test_round_trip_on_generated_pages(small_site):
     from repro.webgraph.canonical import resolve_link
 

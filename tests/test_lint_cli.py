@@ -11,6 +11,15 @@ from repro.lint.__main__ import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
 
 REPO = Path(__file__).resolve().parent.parent
 
+
+@pytest.fixture(autouse=True)
+def _isolate_default_cache(tmp_path, monkeypatch):
+    """Run every CLI test from a scratch directory so invocations that
+    rely on the default cache path drop ``.repro-lint-cache.json``
+    there, not into the developer's checkout."""
+    monkeypatch.chdir(tmp_path)
+
+
 CLEAN_SNIPPET = "from repro.utils.rng import derive_rng\n"
 DIRTY_SNIPPET = (
     "import random\n"
@@ -88,8 +97,77 @@ def test_list_rules_prints_catalogue(capsys):
     assert main(["--list-rules"]) == EXIT_CLEAN
     out = capsys.readouterr().out
     for code in ("DET001", "DET002", "DET003", "COR001", "COR002",
-                 "COR003", "API001", "API002"):
+                 "COR003", "API001", "API002", "FLOW001", "FLOW002",
+                 "FLOW003", "FLOW004", "FLOW005"):
         assert code in out
+
+
+def test_select_overrides_pyproject_disable(tmp_path, capsys):
+    """ruff semantics: an explicit --select wins over the pyproject
+    disable list instead of silently running zero rules."""
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text('[tool.repro-lint]\ndisable = ["DET001"]\n')
+    code = main(["--config", str(pyproject), "--select", "DET001",
+                 "--no-cache", str(bad)])
+    assert code == EXIT_FINDINGS
+    assert "DET001" in capsys.readouterr().out
+    # Without --select the disable list still applies.
+    assert main(["--config", str(pyproject), "--no-cache", str(bad)]) == \
+        EXIT_CLEAN
+
+
+def test_project_flag_runs_flow_rules(tmp_path, capsys):
+    source = tmp_path / "src" / "repro" / "core"
+    source.mkdir(parents=True)
+    (source / "drop.py").write_text("def make(seed):\n    return 1\n")
+    (tmp_path / "pyproject.toml").write_text("")
+    code = main(["--no-config", "--no-cache", "--project",
+                 str(tmp_path / "src")])
+    out = capsys.readouterr().out
+    assert code == EXIT_FINDINGS
+    assert "FLOW001" in out and "drop.py" in out
+    # Without --project the per-file pass alone reports nothing.
+    assert main(["--no-config", "--no-cache", str(tmp_path / "src")]) == \
+        EXIT_CLEAN
+
+
+def test_selecting_flow_rule_implies_project_pass(tmp_path, capsys):
+    source = tmp_path / "src" / "repro" / "core"
+    source.mkdir(parents=True)
+    (source / "drop.py").write_text("def make(seed):\n    return 1\n")
+    (tmp_path / "pyproject.toml").write_text("")
+    code = main(["--no-config", "--no-cache", "--select", "FLOW001",
+                 str(tmp_path / "src")])
+    assert code == EXIT_FINDINGS
+    assert "FLOW001" in capsys.readouterr().out
+
+
+def test_json_cache_stats_line_reports_warm_rerun(tmp_path, capsys):
+    """Acceptance: a cached re-run hits for every unchanged file, and
+    the ``--format json`` cache-stats line proves it."""
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "a.py").write_text("A = 1\n")
+    (package / "b.py").write_text("B = 2\n")
+    cache = tmp_path / "cache.json"
+    argv = ["--no-config", "--format", "json", "--cache", str(cache),
+            str(package)]
+    assert main(argv) == EXIT_CLEAN
+    cold = json.loads(capsys.readouterr().out)["cache"]
+    assert cold == {"enabled": True, "files": 2, "hits": 0, "misses": 2}
+    assert main(argv) == EXIT_CLEAN
+    warm = json.loads(capsys.readouterr().out)["cache"]
+    assert warm == {"enabled": True, "files": 2, "hits": 2, "misses": 0}
+
+
+def test_no_cache_flag_reports_disabled_cache(tmp_path, capsys):
+    (tmp_path / "a.py").write_text("A = 1\n")
+    assert main(["--no-config", "--format", "json", "--no-cache",
+                 str(tmp_path / "a.py")]) == EXIT_CLEAN
+    document = json.loads(capsys.readouterr().out)
+    assert document["cache"]["enabled"] is False
 
 
 def test_directory_walk_respects_exclude(tmp_path, capsys):

@@ -1,0 +1,332 @@
+"""Unit tests for phase 2 of the whole-program analysis: symbol-table
+extraction, import-graph construction and the FLOW rule family's edge
+cases (the end-to-end injected-violation tests live in
+``tests/test_lint_self.py``)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint import Linter, RuleConfig
+from repro.lint.project import (build_project, default_project_rules,
+                                resolve_import)
+from repro.lint.symbols import extract_symbols, module_name_for
+
+
+def symbols_for(source: str, path: str):
+    return extract_symbols(ast.parse(textwrap.dedent(source)), path)
+
+
+def run_project(tmp_path, tree: dict[str, str], lint: str = "src/repro",
+                config: RuleConfig | None = None):
+    for rel, content in tree.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(content), encoding="utf-8")
+    roots = [tmp_path / name for name in ("src", "tests", "examples",
+                                          "benchmarks")
+             if (tmp_path / name).is_dir()]
+    return Linter(config or RuleConfig()).run(
+        [tmp_path / lint], project=True, reference_roots=roots
+    ).findings
+
+
+# -- symbol tables -------------------------------------------------------
+
+
+def test_module_name_resolution():
+    assert module_name_for("src/repro/core/bandit.py") == "repro.core.bandit"
+    assert module_name_for("src/repro/core/__init__.py") == "repro.core"
+    assert module_name_for("tests/test_x.py") == "tests.test_x"
+    assert module_name_for("benchmarks/test_bench_lint.py") == \
+        "benchmarks.test_bench_lint"
+    assert module_name_for("scratch.py") == "scratch"
+
+
+def test_symbols_capture_defs_exports_refs_calls():
+    mod = symbols_for(
+        """
+        import math
+        from repro.utils.rng import derive_rng
+
+        __all__ = ["Crawler", "make"]
+
+        LIMIT = math.inf
+
+
+        class Crawler:
+            def crawl(self, budget, rng):
+                return derive_rng(rng, "crawl")
+
+            def _internal(self):
+                pass
+
+
+        def make(seed):
+            return Crawler()
+        """,
+        "src/repro/core/crawler.py",
+    )
+    assert mod.module == "repro.core.crawler"
+    assert mod.package == "core"
+    assert not mod.is_package
+    assert [name for name, _ in mod.exports] == ["Crawler", "make"]
+    names = {f.qualname: f for f in mod.functions}
+    assert names["Crawler.crawl"].is_public and names["Crawler.crawl"].is_method
+    assert not names["Crawler._internal"].is_public
+    assert "rng" in names["Crawler.crawl"].loaded
+    assert "derive_rng" in mod.call_heads()
+    assert "Crawler" in mod.call_heads()  # make() constructs one
+    assert {"math", "derive_rng"} <= mod.ref_set()
+
+
+def test_symbols_mark_lazy_and_type_checking_imports():
+    mod = symbols_for(
+        """
+        from typing import TYPE_CHECKING
+
+        import repro.utils
+
+        if TYPE_CHECKING:
+            from repro.core.crawler import SBCrawler
+
+
+        def late():
+            from repro.core.bandit import SleepingBandit
+
+            return SleepingBandit
+        """,
+        "src/repro/analysis/report.py",
+    )
+    by_module = {rec.module: rec for rec in mod.imports}
+    assert by_module["repro.utils"].toplevel
+    assert not by_module["repro.core.crawler"].toplevel
+    assert not by_module["repro.core.bandit"].toplevel
+    # ... but both still feed the reference corpus.
+    assert {"SBCrawler", "SleepingBandit"} <= mod.ref_set()
+
+
+def test_stub_bodies_are_marked():
+    mod = symbols_for(
+        """
+        class Base:
+            def run(self, seed):
+                raise NotImplementedError
+
+            def explain(self, seed):
+                ...
+        """,
+        "src/repro/baselines/base.py",
+    )
+    assert all(f.is_stub for f in mod.functions)
+
+
+def test_relative_import_resolution():
+    package = symbols_for("from . import util\n",
+                          "src/repro/core/__init__.py")
+    module = symbols_for("from .util import helper\n",
+                         "src/repro/core/crawler.py")
+    assert resolve_import(package, "", 1) == "repro.core"
+    assert resolve_import(module, "util", 1) == "repro.core.util"
+    assert resolve_import(module, "utils.rng", 2) == "repro.utils.rng"
+
+
+# -- project model -------------------------------------------------------
+
+
+def test_import_graph_resolves_submodule_from_imports():
+    a = symbols_for("from repro.core import frontier\n",
+                    "src/repro/core/crawler.py")
+    b = symbols_for("x = 1\n", "src/repro/core/frontier.py")
+    init = symbols_for("", "src/repro/core/__init__.py")
+    model = build_project([a, b, init], linted_paths=[a.path, b.path],
+                          noqa={}, suppressed={})
+    assert "repro.core.frontier" in model.import_graph["repro.core.crawler"]
+
+
+def test_lazy_imports_do_not_create_graph_edges():
+    a = symbols_for(
+        "def late():\n    from repro.core import frontier\n",
+        "src/repro/core/crawler.py",
+    )
+    b = symbols_for("x = 1\n", "src/repro/core/frontier.py")
+    model = build_project([a, b], linted_paths=[a.path], noqa={},
+                          suppressed={})
+    assert model.import_graph["repro.core.crawler"] == set()
+
+
+# -- FLOW rule edge cases ------------------------------------------------
+
+
+def test_flow001_ignores_stubs_private_and_used_params(tmp_path):
+    findings = run_project(tmp_path, {
+        "src/repro/core/api.py": """\
+            def forward(seed):
+                return build(seed)
+
+
+            def stores(self_seed):
+                state = {"seed": self_seed}
+                return state
+
+
+            def _private(seed):
+                return 0
+
+
+            def build(seed):
+                import random as _r  # repro: noqa[DET001] test fixture
+                return seed
+            """,
+        "src/repro/baselines/base.py": """\
+            class Baseline:
+                def run(self, seed):
+                    raise NotImplementedError
+            """,
+    })
+    assert [f for f in findings if f.rule == "FLOW001"] == []
+
+
+def test_flow001_outside_seeded_packages_is_ignored(tmp_path):
+    findings = run_project(tmp_path, {
+        "src/repro/analysis/report.py": """\
+            def summarise(trace, seed):
+                return len(trace)
+            """,
+    })
+    assert [f for f in findings if f.rule == "FLOW001"] == []
+
+
+def test_flow002_star_import_counts_as_use(tmp_path):
+    findings = run_project(tmp_path, {
+        "src/repro/core/__init__.py": """\
+            def lonely():
+                return 1
+
+
+            __all__ = ["lonely"]
+            """,
+        "examples/demo.py": "from repro.core import *\n",
+    })
+    assert [f for f in findings if f.rule == "FLOW002"] == []
+
+
+def test_flow002_reference_in_benchmarks_counts(tmp_path):
+    findings = run_project(tmp_path, {
+        "src/repro/core/__init__.py": """\
+            def lonely():
+                return 1
+
+
+            __all__ = ["lonely"]
+            """,
+        "benchmarks/test_bench_demo.py": """\
+            from repro.core import lonely
+
+            def test_bench(): lonely()
+            """,
+    })
+    assert [f for f in findings if f.rule == "FLOW002"] == []
+
+
+def test_flow003_reports_each_cycle_once(tmp_path):
+    findings = run_project(tmp_path, {
+        "src/repro/core/a.py": "from repro.core import b\n",
+        "src/repro/core/b.py": "from repro.core import c\n",
+        "src/repro/core/c.py": "from repro.core import a\n",
+        "src/repro/core/__init__.py": "",
+    })
+    flow = [f for f in findings if f.rule == "FLOW003"]
+    assert len(flow) == 1
+    assert flow[0].message.count("repro.core.a") == 2  # start and close
+
+
+def test_flow003_lazy_import_breaks_cycle(tmp_path):
+    findings = run_project(tmp_path, {
+        "src/repro/core/a.py": "from repro.core.b import f\n",
+        "src/repro/core/b.py": """\
+            def g():
+                from repro.core.a import h
+                return h
+
+
+            def f():
+                return 1
+            """,
+    })
+    assert [f for f in findings if f.rule == "FLOW003"] == []
+
+
+def test_flow004_respects_explicit_keep_marker(tmp_path):
+    findings = run_project(tmp_path, {
+        "src/repro/core/keep.py": """\
+            def f(x):
+                return x  # repro: noqa[FLOW004] reserved for generated code
+            """,
+    })
+    assert [f for f in findings if f.rule == "FLOW004"] == []
+
+
+def test_flow004_used_marker_not_flagged(tmp_path):
+    findings = run_project(tmp_path, {
+        "src/repro/core/used.py": """\
+            def f(x):
+                return x == 0.5  # repro: noqa[COR002] exact sentinel
+            """,
+    })
+    assert findings == []
+
+
+def test_flow004_flags_marker_whose_rule_was_disabled(tmp_path):
+    config = RuleConfig(disable=frozenset({"COR002"}))
+    findings = run_project(tmp_path, {
+        "src/repro/core/used.py": """\
+            def f(x):
+                return x == 0.5  # repro: noqa[COR002] exact sentinel
+            """,
+    }, config=config)
+    assert [f.rule for f in findings] == ["FLOW004"]
+
+
+def test_flow005_generic_reconstruction_does_not_count(tmp_path):
+    """``cls(**kwargs)`` in a registry does not emit any concrete event;
+    only a named construction site counts."""
+    findings = run_project(tmp_path, {
+        "src/repro/obs/events.py": """\
+            class CrawlEvent:
+                pass
+
+
+            class LostEvent(CrawlEvent):
+                pass
+
+
+            def event_from_dict(payload):
+                cls = {"lost": LostEvent}[payload["e"]]
+                return cls(**payload)
+            """,
+    })
+    flow = [f for f in findings if f.rule == "FLOW005"]
+    assert len(flow) == 1 and "LostEvent" in flow[0].message
+
+
+def test_flow_rules_have_unique_codes_and_docs():
+    rules = default_project_rules()
+    codes = [rule.code for rule in rules]
+    assert codes == sorted(codes) == \
+        ["FLOW001", "FLOW002", "FLOW003", "FLOW004", "FLOW005"]
+    assert all(rule.name and rule.rationale for rule in rules)
+
+
+def test_findings_only_anchor_in_linted_paths(tmp_path):
+    """A violation in the reference corpus (tests/) must not surface
+    when only src/ is linted."""
+    findings = run_project(tmp_path, {
+        "src/repro/core/ok.py": "X = 1\n",
+        "tests/test_bad.py": """\
+            def helper(seed):
+                return 0
+            """,
+    })
+    assert findings == []

@@ -320,6 +320,83 @@ def test_noqa_multiple_codes():
     assert lint(source) == []
 
 
+def test_noqa_inside_string_literal_does_not_suppress():
+    """Only real COMMENT tokens carry the marker: a string that happens
+    to contain it (fixtures, docs, templates) must not suppress the
+    finding on its line."""
+    source = (
+        "def f(x):\n"
+        '    marker = "see  # repro: noqa[COR002] in docs"\n'
+        "    return (x == 0.5, marker)\n"
+    )
+    findings = lint(source)
+    assert codes(findings) == ["COR002"]
+
+    multiline = (
+        "DOC = '''\n"
+        "x == 0.0  # repro: noqa[COR002] example from the docs\n"
+        "'''\n"
+        "def f(x):\n"
+        "    return x == 0.5\n"
+    )
+    assert codes(lint(multiline)) == ["COR002"]
+
+
+def test_noqa_string_and_comment_on_same_line():
+    """A real comment after a marker-bearing string still suppresses."""
+    source = (
+        "def f(x):\n"
+        '    s = "# repro: noqa[DET001]"\n'
+        "    return (s, x == 0.5)  # repro: noqa[COR002] sentinel\n"
+    )
+    assert lint(source) == []
+
+
+@pytest.mark.parametrize("marker", [
+    "# repro: noqa[ COR002 ]",
+    "# repro: noqa[COR002,]",
+    "# repro: noqa[ COR002 , DET001 ]",
+    "#repro:noqa[COR002]",
+    "#  repro:  noqa[cor002] lowercase codes normalise",
+    "# repro: noqa[COR002] trailing justification prose, with commas",
+])
+def test_noqa_code_list_whitespace_variants(marker):
+    source = f"def f(x):\n    return x == 0.0  {marker}\n"
+    assert lint(source) == []
+
+
+@pytest.mark.parametrize("marker", [
+    "# repro: noqa[DET001]",          # names a different rule
+    "# repro: noqa[NOPE99]",          # unknown code suppresses nothing
+    "# repro: noqa[]",                # empty list suppresses nothing
+])
+def test_noqa_non_matching_code_lists_do_not_suppress(marker):
+    source = f"def f(x):\n    return x == 0.0  {marker}\n"
+    assert codes(lint(source)) == ["COR002"]
+
+
+def test_scan_noqa_maps_lines_and_codes():
+    from repro.lint import scan_noqa
+
+    markers = scan_noqa(
+        "a = 1  # repro: noqa\n"
+        "b = 2\n"
+        "c = 3  # repro: noqa[DET001 , cor002]\n"
+    )
+    assert markers == {1: None, 3: frozenset({"DET001", "COR002"})}
+
+
+def test_check_paths_deduplicates_overlapping_inputs(tmp_path):
+    """Overlapping paths (``pkg pkg/mod.py``) lint each file once."""
+    package = tmp_path / "pkg"
+    package.mkdir()
+    bad = package / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    single = Linter(RuleConfig()).check_paths([package])
+    doubled = Linter(RuleConfig()).check_paths([package, bad, package])
+    assert len(single) == len(doubled) == 1
+
+
 def test_config_disable_turns_rule_off():
     config = RuleConfig(disable=frozenset({"COR002"}))
     assert lint("def f(x):\n    return x == 0.0\n", config=config) == []

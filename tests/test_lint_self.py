@@ -1,23 +1,60 @@
 """The self-lint gate: ``src/repro`` must stay clean under the full
-rule set.  This is the tier-1 hook that keeps determinism violations
-from creeping in under refactor pressure — the equivalent of running
-``python -m repro.lint src/repro`` in CI."""
+rule set — per-file rules *and* the whole-program FLOW pass.  This is
+the tier-1 hook that keeps determinism violations from creeping in
+under refactor pressure — the equivalent of running
+``python -m repro.lint --project src/repro`` in CI.
+
+Each FLOW rule also gets an injected-violation positive test: a minimal
+on-disk project carrying exactly one violation, asserted down to the
+file and line, so the gate can never silently stop seeing a rule.
+"""
 
 from __future__ import annotations
 
+import textwrap
 from pathlib import Path
 
-from repro.lint import Linter, load_pyproject_config
+from repro.lint import Linter, RuleConfig, load_pyproject_config
 from repro.lint.reporters import render_text
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
+
+#: Reference corpus for the whole-program pass (mirrors the CLI's
+#: auto-discovery from the repository root).
+REFERENCE_ROOTS = [REPO / name for name in ("src", "tests", "examples",
+                                            "benchmarks")]
 
 
 def test_source_tree_is_lint_clean():
     config = load_pyproject_config(REPO / "pyproject.toml")
     findings = Linter(config).check_paths([SRC])
     assert findings == [], "\n" + render_text(findings)
+
+
+def test_source_tree_is_project_clean():
+    """The whole-program pass (FLOW001-005) reports zero findings over
+    ``src/repro`` with tests/examples/benchmarks as reference corpus."""
+    config = load_pyproject_config(REPO / "pyproject.toml")
+    run = Linter(config).run([SRC], project=True,
+                             reference_roots=REFERENCE_ROOTS)
+    assert run.findings == [], "\n" + render_text(run.findings)
+    assert run.project and run.files > 0
+
+
+def test_project_gate_rerun_is_fully_cached(tmp_path):
+    """An unchanged tree re-lints entirely from the incremental cache."""
+    config = load_pyproject_config(REPO / "pyproject.toml")
+    cache = tmp_path / "lint-cache.json"
+    linter = Linter(config)
+    cold = linter.run([SRC], project=True, cache_path=cache,
+                      reference_roots=REFERENCE_ROOTS)
+    warm = Linter(config).run([SRC], project=True, cache_path=cache,
+                              reference_roots=REFERENCE_ROOTS)
+    assert cold.findings == warm.findings == []
+    assert cold.cache.misses == cold.cache.files
+    assert warm.cache.hits == warm.cache.files > 0
+    assert warm.cache.misses == 0
 
 
 def test_injected_det001_violation_is_caught():
@@ -41,7 +78,8 @@ def test_injected_det001_violation_is_caught():
 
 
 def test_gate_matches_cli_invocation():
-    """The pytest gate and ``python -m repro.lint src/repro`` agree."""
+    """The pytest gate and ``python -m repro.lint --project src/repro``
+    agree."""
     from repro.lint.__main__ import EXIT_CLEAN, main
 
     import contextlib
@@ -49,5 +87,137 @@ def test_gate_matches_cli_invocation():
 
     stdout = io.StringIO()
     with contextlib.redirect_stdout(stdout):
-        code = main(["--config", str(REPO / "pyproject.toml"), str(SRC)])
+        code = main(["--config", str(REPO / "pyproject.toml"),
+                     "--project", "--no-cache", str(SRC)])
     assert code == EXIT_CLEAN, stdout.getvalue()
+
+
+# -- injected-violation positive tests, one per FLOW rule ----------------
+
+
+def project_lint(tmp_path, tree: dict[str, str], lint: str = "src/repro"):
+    """Materialise ``tree`` on disk and run the whole-program pass."""
+    for rel, content in tree.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    roots = [tmp_path / name for name in ("src", "tests", "examples",
+                                          "benchmarks")
+             if (tmp_path / name).is_dir()]
+    run = Linter(RuleConfig()).run([tmp_path / lint], project=True,
+                                   reference_roots=roots)
+    return run.findings
+
+
+def test_injected_flow001_seed_drop_is_caught(tmp_path):
+    findings = project_lint(tmp_path, {
+        "src/repro/core/builder.py": """\
+            def make_crawler(budget, seed):
+                return budget * 2
+            """,
+    })
+    flow = [f for f in findings if f.rule == "FLOW001"]
+    assert len(flow) == 1
+    assert flow[0].path == str(tmp_path / "src/repro/core/builder.py")
+    assert flow[0].line == 1
+    assert "'seed'" in flow[0].message and "make_crawler" in flow[0].message
+
+
+def test_injected_flow002_dead_export_is_caught(tmp_path):
+    findings = project_lint(tmp_path, {
+        "src/repro/core/__init__.py": """\
+            from repro.core.impl import alive, phantom
+
+            __all__ = [
+                "alive",
+                "phantom",
+            ]
+            """,
+        "src/repro/core/impl.py": """\
+            def alive():
+                return 1
+
+
+            def phantom():
+                return 2
+            """,
+        "tests/test_alive.py": """\
+            from repro.core import alive
+
+            def test_alive():
+                assert alive() == 1
+            """,
+    })
+    flow = [f for f in findings if f.rule == "FLOW002"]
+    assert len(flow) == 1
+    assert flow[0].path == str(tmp_path / "src/repro/core/__init__.py")
+    assert flow[0].line == 5  # the "phantom" entry inside __all__
+    assert "'phantom'" in flow[0].message
+
+
+def test_injected_flow003_import_cycle_is_caught(tmp_path):
+    findings = project_lint(tmp_path, {
+        "src/repro/core/alpha.py": """\
+            from repro.core.beta import helper
+
+
+            def top():
+                return helper()
+            """,
+        "src/repro/core/beta.py": """\
+            import repro.core.alpha
+
+
+            def helper():
+                return repro.core.alpha.top
+            """,
+    })
+    flow = [f for f in findings if f.rule == "FLOW003"]
+    assert len(flow) == 1
+    assert flow[0].path == str(tmp_path / "src/repro/core/alpha.py")
+    assert flow[0].line == 1  # alpha's import of beta closes the cycle
+    assert "repro.core.alpha -> repro.core.beta -> repro.core.alpha" in \
+        flow[0].message
+
+
+def test_injected_flow004_unused_noqa_is_caught(tmp_path):
+    findings = project_lint(tmp_path, {
+        "src/repro/core/tidy.py": """\
+            def double(x):
+                return x * 2  # repro: noqa[COR002] stale justification
+            """,
+    })
+    flow = [f for f in findings if f.rule == "FLOW004"]
+    assert len(flow) == 1
+    assert flow[0].path == str(tmp_path / "src/repro/core/tidy.py")
+    assert flow[0].line == 2
+    assert "COR002" in flow[0].message
+
+
+def test_injected_flow005_unemitted_event_is_caught(tmp_path):
+    findings = project_lint(tmp_path, {
+        "src/repro/obs/events.py": """\
+            class CrawlEvent:
+                pass
+
+
+            class FetchEvent(CrawlEvent):
+                pass
+
+
+            class PhantomEvent(CrawlEvent):
+                pass
+            """,
+        "src/repro/core/loop.py": """\
+            from repro.obs.events import FetchEvent
+
+
+            def step(observer):
+                observer.on_event(FetchEvent())
+            """,
+    })
+    flow = [f for f in findings if f.rule == "FLOW005"]
+    assert len(flow) == 1
+    assert flow[0].path == str(tmp_path / "src/repro/obs/events.py")
+    assert flow[0].line == 9  # class PhantomEvent
+    assert "PhantomEvent" in flow[0].message
