@@ -8,6 +8,7 @@ regenerated paper artefacts survive the run.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -17,7 +18,11 @@ from repro.experiments.runner import ResultCache
 
 #: Scale of the synthetic sites used by the benchmark suite.  1.0 is the
 #: full laptop-scale size of the 18 site profiles (≈ 1 k – 6 k pages).
-BENCH_SCALE = 1.0
+#: The ``REPRO_BENCH_SCALE`` environment variable overrides it so CI's
+#: bench-smoke job can run the suite at a fraction of the size (the
+#: numbers are then not comparable across scales — only across runs at
+#: the same scale).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 _RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
 

@@ -19,6 +19,7 @@ from repro.experiments.figures import (
     compute_figure5,
     compute_figure15,
 )
+from repro.experiments.faultmatrix import compute_fault_matrix
 from repro.experiments.runner import ResultCache
 from repro.experiments.table1 import compute_table1
 from repro.experiments.table2 import compute_table2
@@ -47,6 +48,7 @@ EXPERIMENTS = {
     "figure5": lambda config, cache: compute_figure5(config, cache),
     "figure7": _figure7,
     "figure15": lambda config, cache: compute_figure15("in", config, cache),
+    "faultmatrix": compute_fault_matrix,
 }
 
 

@@ -26,6 +26,10 @@ class FrontierCrawler(Crawler):
     #: polite crawlers fetch and honour robots.txt (one extra request)
     respect_robots: bool = True
 
+    #: times an abandoned (transient, retries exhausted) URL is pushed
+    #: back onto the frontier before it is dead-lettered
+    max_requeues: int = 2
+
     # -- frontier discipline, defined by subclasses -------------------
 
     @abstractmethod
@@ -59,6 +63,8 @@ class FrontierCrawler(Crawler):
         else:
             self._robots = RobotsPolicy()
         self._depths: dict[str, int] = {env.root_url: 0}
+        self._dead_letters: list[str] = []
+        self._requeues: dict[str, int] = {}
         seen: set[str] = {env.root_url}
         visited: set[str] = set()
         targets: set[str] = set()
@@ -76,6 +82,7 @@ class FrontierCrawler(Crawler):
             trace=client.trace,
             visited=visited,
             targets=targets,
+            dead_letters=self._dead_letters,
         )
 
     def _fetch(
@@ -91,8 +98,24 @@ class FrontierCrawler(Crawler):
         if depth > _MAX_CHAIN_DEPTH or url in visited:
             return
         response = client.get(url)
+        if response.abandoned:
+            # Transient failure with retries exhausted: give the URL a
+            # bounded number of fresh chances on the frontier.
+            count = self._requeues.get(url, 0)
+            if count < self.max_requeues:
+                self._requeues[url] = count + 1
+                self._frontier_push(
+                    url,
+                    {"depth": self._url_depth(url), "anchor": "", "tag_path": ""},
+                )
+            else:
+                self._dead_letters.append(url)
+                visited.add(url)
+            return
         visited.add(url)
         if response.interrupted or response.is_error:
+            if response.is_permanent_error:
+                self._dead_letters.append(url)
             self._on_page(url, response, None, was_target=False)
             return
         if response.is_redirect:

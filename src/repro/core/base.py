@@ -28,6 +28,10 @@ class CrawlResult:
     visited: set[str] = field(default_factory=set)
     targets: set[str] = field(default_factory=set)
     stopped_early: bool = False
+    #: URLs permanently given up on: permanent HTTP errors (404/410/…)
+    #: and transient failures that exhausted their retries and requeues
+    #: (docs/architecture.md, "Fault model").  Order = abandonment order.
+    dead_letters: list[str] = field(default_factory=list)
     #: crawler-specific extras (bandit stats, classifier confusion, …)
     info: dict[str, Any] = field(default_factory=dict)
 
@@ -38,6 +42,10 @@ class CrawlResult:
     @property
     def n_targets(self) -> int:
         return len(self.targets)
+
+    @property
+    def n_dead_letters(self) -> int:
+        return len(self.dead_letters)
 
 
 class Crawler(ABC):

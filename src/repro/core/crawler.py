@@ -63,6 +63,9 @@ class SBConfig:
     prime: int = DEFAULT_PRIME            # hash multiplier Π
     epsilon: float = 1e-6                 # bandit division guard
     bandit_policy: str = "auer"           # auer | epsilon-greedy | thompson
+    #: times an abandoned (transient, retries exhausted) URL is requeued
+    #: into its frontier action before it is dead-lettered
+    max_requeues: int = 2
     batch_size: int = 10                  # URL-classifier batch b
     classifier_model: str = "LR"          # LR | SVM | NB | PA
     feature_set: str = "URL_ONLY"         # URL_ONLY | URL_CONT
@@ -97,6 +100,8 @@ class _SBState:
     visited: set[str] = field(default_factory=set)
     seen: set[str] = field(default_factory=set)
     targets: set[str] = field(default_factory=set)
+    dead_letters: list[str] = field(default_factory=list)
+    requeues: dict[str, int] = field(default_factory=dict)
     t: int = 0
     confusion: ConfusionMatrix = field(default_factory=ConfusionMatrix)
     oracle: OracleUrlClassifier | None = None
@@ -216,6 +221,7 @@ class SBCrawler(Crawler):
             visited=state.visited,
             targets=state.targets,
             stopped_early=stopped_early,
+            dead_letters=state.dead_letters,
             info={
                 "n_actions": state.actions.n_actions,
                 "reward_mean_nonzero": mean,
@@ -256,12 +262,20 @@ class SBCrawler(Crawler):
         if self.budget_exhausted(state.client, budget, cost_model):
             return 0
         response: Response = state.client.get(url)
+        if response.abandoned:
+            # Transient failure, retries exhausted: requeue into the
+            # link's frontier action a bounded number of times, then
+            # dead-letter (graceful degradation, docs/architecture.md).
+            self._handle_abandoned(state, url, action_id)
+            return 0
         state.visited.add(url)
         state.t += 1
 
         if response.interrupted:
             return 0
         if response.is_error:
+            if response.is_permanent_error:
+                state.dead_letters.append(url)
             return 0
         if response.is_redirect:
             location = response.redirect_to
@@ -343,6 +357,21 @@ class SBCrawler(Crawler):
             state.bandit.record_reward(action_id, float(reward))
         return reward
 
+    def _handle_abandoned(
+        self, state: _SBState, url: str, action_id: int | None
+    ) -> None:
+        """Requeue an abandoned URL into its frontier action, or
+        dead-letter it once ``max_requeues`` chances are spent."""
+        count = state.requeues.get(url, 0)
+        if count < self.config.max_requeues:
+            state.requeues[url] = count + 1
+            state.frontier.add(
+                url, action_id if action_id is not None else _ROOT_ACTION
+            )
+        else:
+            state.dead_letters.append(url)
+            state.visited.add(url)
+
     def _process_forms(self, state: _SBState, parsed) -> None:
         """Hook for deep-web subclasses; the base crawler ignores forms
         (the paper's crawler is navigation-only; Sec. 6 future work)."""
@@ -395,6 +424,10 @@ def _label_from_head(
     """Ground-truth label from a HEAD response (initial training phase)."""
     if head.is_redirect:
         return UrlClass.HTML  # following it will land on a live page
+    if head.abandoned:
+        # The HEAD never got a real answer; keep the link alive as HTML
+        # so the (retried, requeued) GET path decides its fate later.
+        return UrlClass.HTML
     if not head.ok:
         return UrlClass.NEITHER
     mime = head.mime_root()

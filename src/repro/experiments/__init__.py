@@ -21,6 +21,7 @@ from repro.experiments.table4 import compute_table4
 from repro.experiments.table5 import compute_table5
 from repro.experiments.table6 import compute_table6
 from repro.experiments.table7 import compute_table7
+from repro.experiments.faultmatrix import compute_fault_matrix
 from repro.experiments.figures import (
     compute_figure4,
     compute_figure5,
@@ -40,6 +41,7 @@ __all__ = [
     "compute_table5",
     "compute_table6",
     "compute_table7",
+    "compute_fault_matrix",
     "compute_figure4",
     "compute_figure5",
     "compute_figure15",

@@ -8,18 +8,32 @@ paper's evaluation measures exactly these quantities (requests and data
 volume; Sec. 4.4 excludes wall-clock time on purpose).
 """
 
-from repro.http.messages import Response
+from repro.http.messages import Response, parse_retry_after
 from repro.http.ledger import CostLedger
 from repro.http.server import SimulatedServer
-from repro.http.client import HttpClient
+from repro.http.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    FaultyServer,
+    InjectedTimeoutError,
+)
+from repro.http.client import HttpClient, RetryPolicy
 from repro.http.environment import CrawlEnvironment
 from repro.http.cache import PageStore, ReplicatingFetcher
 
 __all__ = [
     "Response",
+    "parse_retry_after",
     "CostLedger",
     "SimulatedServer",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultyServer",
+    "InjectedTimeoutError",
     "HttpClient",
+    "RetryPolicy",
     "CrawlEnvironment",
     "PageStore",
     "ReplicatingFetcher",

@@ -1,4 +1,4 @@
-"""Crawler-facing HTTP client with cost accounting.
+"""Crawler-facing HTTP client with cost accounting and retry/backoff.
 
 Every GET/HEAD is recorded both in a :class:`CostLedger` (totals) and a
 :class:`~repro.analysis.trace.CrawlTrace` (per-request log).  The client
@@ -6,22 +6,98 @@ refuses to fetch URLs outside the website boundary — crawler code must
 apply the Sec. 2.2 same-site rule before scheduling a URL, and this
 check turns a forgotten filter into a loud error instead of a silently
 wrong experiment.
+
+With a :class:`RetryPolicy` attached, transient failures (429, 5xx
+bursts, timeouts, truncated bodies — see
+``repro.http.messages.TRANSIENT_STATUSES``) are retried with capped
+exponential backoff and seeded jitter; ``Retry-After`` headers are
+honoured; every attempt is a full request in the ledger and trace, and
+the simulated wait time is charged to ``CostLedger.wait_seconds``.
+Without a policy (the default), behaviour is byte-identical to the
+pre-retry client: one attempt per request, whatever the status.
 """
 
 from __future__ import annotations
 
+import random
+from dataclasses import dataclass
+
 from repro.analysis.trace import CrawlRecord, CrawlTrace
+from repro.http.faults import InjectedTimeoutError
 from repro.http.ledger import CostLedger
-from repro.http.messages import Response
+from repro.http.messages import TIMEOUT_STATUS, Response, parse_retry_after
 from repro.http.server import SimulatedServer
-from repro.obs.events import FetchEvent
+from repro.obs.events import (
+    FaultInjected,
+    FetchEvent,
+    RequestAbandoned,
+    RetryScheduled,
+)
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.utils.rng import derive_rng
 from repro.webgraph.mime import is_target_mime
 from repro.webgraph.model import same_site
 
 
 class OffsiteRequestError(RuntimeError):
     """Raised when a crawler requests a URL outside the site boundary."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded jitter (docs/architecture.md).
+
+    ``max_attempts`` bounds attempts per request (first try included);
+    ``total_budget`` bounds retries per crawl so a melting-down site
+    cannot eat the whole request budget in back-offs.  The jittered
+    delay for the retry after failed attempt *k* (1-based) is::
+
+        min(max_delay, base_delay * multiplier**(k-1)) * (1 ± jitter)
+
+    raised to the response's ``Retry-After`` when present and larger.
+    Jitter comes from a ``derive_rng`` stream, so runs stay reproducible.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    total_budget: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays cannot be negative")
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """Jittered delay before the retry following failed ``attempt``."""
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+    def retry_wait(self, attempt: int, response: Response, rng: random.Random) -> float:
+        """The wait before retrying ``response``: backoff, raised to any
+        valid ``Retry-After`` the server advertised."""
+        wait = self.backoff_delay(attempt, rng)
+        retry_after = response.retry_after_seconds()
+        if retry_after is not None:
+            wait = max(wait, retry_after)
+        return wait
+
+
+def _failure_reason(response: Response) -> str:
+    """Stable tag naming why a response counts as a transient failure."""
+    if response.status == TIMEOUT_STATUS:
+        return "timeout"
+    if response.truncated:
+        return "truncated"
+    return f"status_{response.status}"
 
 
 class HttpClient:
@@ -34,6 +110,7 @@ class HttpClient:
         enforce_boundary: bool = True,
         target_mimes: frozenset[str] | None = None,
         observer: Observer | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.server = server
         self.ledger = CostLedger()
@@ -41,6 +118,13 @@ class HttpClient:
         self.enforce_boundary = enforce_boundary
         self.target_mimes = target_mimes
         self.observer = observer if observer is not None else NULL_OBSERVER
+        self.retry_policy = retry_policy
+        self.retries_used = 0
+        self._retry_rng: random.Random | None = (
+            derive_rng(retry_policy.seed, "retry-jitter", crawler_name)
+            if retry_policy is not None
+            else None
+        )
 
     # -- internals -----------------------------------------------------
 
@@ -62,10 +146,13 @@ class HttpClient:
             response.method == "GET"
             and response.ok
             and not response.interrupted
+            and not response.truncated
             and not well_known
             and is_target_mime(response.mime_root(), self.target_mimes)
         )
         self.ledger.record(response.method, response.size, is_target)
+        if response.latency:
+            self.ledger.record_wait(response.latency)
         self.trace.append(
             CrawlRecord(
                 method=response.method,
@@ -86,22 +173,85 @@ class HttpClient:
                     is_target=is_target,
                 )
             )
+            if response.fault is not None:
+                self.observer.on_event(
+                    FaultInjected(
+                        ordinal=self.ledger.n_requests,
+                        url=response.url,
+                        fault=response.fault,
+                        status=response.status,
+                    )
+                )
+
+    def _fetch_once(self, method: str, url: str) -> Response:
+        """One attempt: injected timeouts become synthetic responses so
+        crawler code keeps a single status-dispatch path."""
+        try:
+            if method == "GET":
+                response = self.server.get(url)
+            else:
+                response = self.server.head(url)
+        except InjectedTimeoutError:
+            response = Response(
+                url=url, method=method, status=TIMEOUT_STATUS, size=0,
+                fault="timeout",
+            )
+        self._record(response)
+        return response
+
+    def _retry_budget_left(self) -> bool:
+        assert self.retry_policy is not None
+        return self.retries_used < self.retry_policy.total_budget
+
+    def _request(self, method: str, url: str) -> Response:
+        self._check_boundary(url)
+        response = self._fetch_once(method, url)
+        policy = self.retry_policy
+        if policy is None or not response.is_transient_error:
+            return response
+        attempt = 1
+        while (
+            response.is_transient_error
+            and attempt < policy.max_attempts
+            and self._retry_budget_left()
+        ):
+            wait = policy.retry_wait(attempt, response, self._retry_rng)
+            self.retries_used += 1
+            self.ledger.record_retry(wait)
+            if self.observer.enabled:
+                self.observer.on_event(
+                    RetryScheduled(
+                        ordinal=self.ledger.n_requests,
+                        url=url,
+                        attempt=attempt,
+                        wait_seconds=wait,
+                        reason=_failure_reason(response),
+                    )
+                )
+            response = self._fetch_once(method, url)
+            attempt += 1
+        if response.is_transient_error:
+            response.abandoned = True
+            if self.observer.enabled:
+                self.observer.on_event(
+                    RequestAbandoned(
+                        ordinal=self.ledger.n_requests,
+                        url=url,
+                        attempts=attempt,
+                        reason=_failure_reason(response),
+                    )
+                )
+        return response
 
     # -- public API ------------------------------------------------------
 
     def get(self, url: str) -> Response:
         """HTTP GET.  Redirects are *not* followed (Algorithm 4 handles 3xx)."""
-        self._check_boundary(url)
-        response = self.server.get(url)
-        self._record(response)
-        return response
+        return self._request("GET", url)
 
     def head(self, url: str) -> Response:
         """HTTP HEAD: status and headers only, at small volume cost."""
-        self._check_boundary(url)
-        response = self.server.head(url)
-        self._record(response)
-        return response
+        return self._request("HEAD", url)
 
     # -- cost helpers -----------------------------------------------------
 

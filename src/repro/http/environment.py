@@ -10,7 +10,8 @@ same stored pages, Sec. 4.4).
 from __future__ import annotations
 
 from repro.html.parse import ParsedPage, parse_page
-from repro.http.client import HttpClient
+from repro.http.client import HttpClient, RetryPolicy
+from repro.http.faults import FaultPlan, FaultyServer
 from repro.http.messages import Response
 from repro.http.server import SimulatedServer
 from repro.obs.observer import NULL_OBSERVER, Observer
@@ -23,6 +24,12 @@ class CrawlEnvironment:
     ``target_mimes`` customises the target definition (Sec. 2.2: targets
     are resources whose MIME type is in a *user-defined* list); the
     default is the paper's 38-type list.
+
+    ``fault_plan`` interposes a deterministic
+    :class:`~repro.http.faults.FaultyServer` between clients and the
+    clean server; ``retry_policy`` arms every client the environment
+    creates with retry/backoff.  Both default to None — the clean path
+    builds exactly the same object graph as before they existed.
     """
 
     def __init__(
@@ -30,9 +37,18 @@ class CrawlEnvironment:
         graph: WebsiteGraph,
         target_mimes: frozenset[str] | None = None,
         observer: Observer | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.graph = graph
-        self.server = SimulatedServer(graph)
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
+        base_server = SimulatedServer(graph)
+        self.server = (
+            FaultyServer(base_server, fault_plan)
+            if fault_plan is not None
+            else base_server
+        )
         self.target_mimes = target_mimes
         #: default observer handed to every client (docs/observability.md);
         #: instruments *any* crawler's fetch stream, baselines included.
@@ -54,6 +70,7 @@ class CrawlEnvironment:
             crawler_name=crawler_name,
             target_mimes=self.target_mimes,
             observer=observer if observer is not None else self.observer,
+            retry_policy=self.retry_policy,
         )
 
     def is_target_mime(self, mime: str | None) -> bool:

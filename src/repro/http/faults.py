@@ -1,0 +1,237 @@
+"""Deterministic fault injection for the simulated HTTP layer.
+
+The paper's crawl loop (Algorithms 3–4) dispatches on 2xx/3xx/4xx/5xx,
+but a clean :class:`~repro.http.server.SimulatedServer` never exercises
+the failure branches.  This module wraps the server with a *seedable*
+fault schedule so experiments can measure how target recall and cost
+degrade under flaky infrastructure — 500/503 bursts, 429 rate limiting
+with ``Retry-After``, connection timeouts, slow responses, and
+truncated bodies — while staying byte-for-byte reproducible.
+
+Design rules (docs/architecture.md, "Fault model"):
+
+* **The clean path is untouched.**  A plan with ``rate == 0`` passes
+  every request through unchanged; environments built without a plan
+  never even construct the wrapper.
+* **Determinism.**  All decisions come from one ``derive_rng`` stream
+  consumed in request order; the same seed and request sequence yield
+  the same fault schedule.  Nothing reads the clock: "slow" responses
+  carry a simulated ``latency`` charged to the
+  :class:`~repro.http.ledger.CostLedger`, and ``Retry-After`` values
+  are delta-seconds.
+* **Faults are visible.**  Injected responses carry ``fault=<kind>``
+  so the client can emit ``fault_injected`` events; timeouts raise
+  :class:`InjectedTimeoutError`, which only the client catches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.http.messages import Response
+from repro.http.server import SimulatedServer
+from repro.utils.rng import derive_rng
+
+#: Every fault kind a plan can schedule.
+FAULT_KINDS: tuple[str, ...] = (
+    "server_error",   # 500/503, optionally in bursts of consecutive failures
+    "rate_limit",     # 429 with a Retry-After header
+    "timeout",        # connection timeout: InjectedTimeoutError, no response
+    "slow",           # correct response, with simulated transfer latency
+    "truncate",       # body cut mid-transfer, size reduced, truncated=True
+)
+
+#: Statuses drawn for a ``server_error`` episode.
+_SERVER_ERROR_STATUSES = (500, 503)
+
+_FAULT_BODY = "<html><body><h1>Server Error</h1></body></html>"
+_RATE_LIMIT_BODY = "<html><body><h1>Too Many Requests</h1></body></html>"
+
+
+class InjectedTimeoutError(RuntimeError):
+    """A scheduled connection timeout: the request produced no response.
+
+    Raised by :class:`FaultyServer` and caught only by
+    :class:`~repro.http.client.HttpClient`, which converts it into a
+    synthetic ``TIMEOUT_STATUS`` response so crawler code keeps a single
+    status-dispatch path.
+    """
+
+    def __init__(self, url: str, method: str) -> None:
+        super().__init__(f"injected timeout: {method} {url}")
+        self.url = url
+        self.method = method
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What to inject and how hard — the declarative half of a plan.
+
+    ``rate`` is the probability that a request *starts* a fault episode;
+    a ``server_error`` episode then extends over ``burst_length``
+    consecutive requests to the same URL (real 5xx outages cluster).
+    """
+
+    rate: float = 0.0
+    kinds: tuple[str, ...] = FAULT_KINDS
+    burst_length: int = 2
+    retry_after: float = 2.0          # seconds advertised by 429 responses
+    slow_latency: float = 5.0         # simulated seconds added by "slow"
+    truncate_fraction: float = 0.5    # fraction of the body that survives
+    max_faults: int | None = None     # total cap across the plan's lifetime
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        unknown = set(self.kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        if self.burst_length < 1:
+            raise ValueError("burst_length must be >= 1")
+        if not 0.0 <= self.truncate_fraction < 1.0:
+            raise ValueError("truncate_fraction must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: what :class:`FaultyServer` must do."""
+
+    kind: str
+    status: int = 0
+    retry_after: float = 0.0
+    latency: float = 0.0
+
+
+class FaultPlan:
+    """Seeded per-request fault schedule (the stateful half).
+
+    One plan serves one environment; it consumes its RNG stream in
+    request order, so identical request sequences see identical faults.
+    ``reset()`` restores the initial state for a verbatim re-run.
+    """
+
+    def __init__(self, spec: FaultSpec | None = None, seed: int = 0) -> None:
+        self.spec = spec if spec is not None else FaultSpec()
+        self.seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind to the initial state (fresh RNG stream, no bursts)."""
+        self._rng = derive_rng(self.seed, "http-faults")
+        self._bursts: dict[str, tuple[int, int]] = {}  # url -> (left, status)
+        self.n_requests = 0
+        self.n_faults = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False for the pass-through configuration (rate 0 / no kinds)."""
+        return self.spec.rate > 0.0 and bool(self.spec.kinds)
+
+    def _budget_left(self) -> bool:
+        return self.spec.max_faults is None or self.n_faults < self.spec.max_faults
+
+    def next_fault(self, url: str, method: str) -> Fault | None:
+        """The fault for this request, or None for a clean pass-through.
+
+        Burst continuations (an open 5xx episode on ``url``) consume no
+        randomness, so they cannot desynchronise the stream.
+        """
+        del method  # faults are method-agnostic; kept for future shaping
+        self.n_requests += 1
+        if not self.enabled:
+            return None
+        burst = self._bursts.get(url)
+        if burst is not None:
+            left, status = burst
+            if left <= 1:
+                del self._bursts[url]
+            else:
+                self._bursts[url] = (left - 1, status)
+            self.n_faults += 1
+            return Fault(kind="server_error", status=status)
+        if not self._budget_left():
+            return None
+        if self._rng.random() >= self.spec.rate:
+            return None
+        kind = self._rng.choice(self.spec.kinds)
+        self.n_faults += 1
+        if kind == "server_error":
+            status = self._rng.choice(_SERVER_ERROR_STATUSES)
+            if self.spec.burst_length > 1:
+                self._bursts[url] = (self.spec.burst_length - 1, status)
+            return Fault(kind=kind, status=status)
+        if kind == "rate_limit":
+            return Fault(kind=kind, status=429, retry_after=self.spec.retry_after)
+        if kind == "timeout":
+            return Fault(kind=kind)
+        if kind == "slow":
+            return Fault(kind=kind, latency=self.spec.slow_latency)
+        return Fault(kind="truncate")
+
+
+class FaultyServer:
+    """A :class:`SimulatedServer` with a :class:`FaultPlan` in front.
+
+    Implements the same ``get``/``head``/``invalidate``/``graph``
+    surface as the clean server, so clients and environments cannot
+    tell the difference — except through the responses themselves.
+    """
+
+    def __init__(self, inner: SimulatedServer, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+
+    @property
+    def graph(self):
+        return self.inner.graph
+
+    def invalidate(self, url: str) -> None:
+        self.inner.invalidate(url)
+
+    # -- faulted request surface ---------------------------------------
+
+    def head(self, url: str) -> Response:
+        return self._apply(url, "HEAD", lambda: self.inner.head(url))
+
+    def get(self, url: str, blocklist_mime: bool = True) -> Response:
+        return self._apply(
+            url, "GET", lambda: self.inner.get(url, blocklist_mime=blocklist_mime)
+        )
+
+    def _apply(self, url: str, method: str, fetch) -> Response:
+        fault = self.plan.next_fault(url, method)
+        if fault is None:
+            return fetch()
+        if fault.kind == "timeout":
+            raise InjectedTimeoutError(url, method)
+        if fault.kind == "server_error":
+            return Response(
+                url=url, method=method, status=fault.status,
+                size=len(_FAULT_BODY), body=_FAULT_BODY if method == "GET" else "",
+                mime_type="text/html", fault=fault.kind,
+            )
+        if fault.kind == "rate_limit":
+            retry_after = fault.retry_after
+            header = str(int(retry_after)) if retry_after == int(retry_after) \
+                else format(retry_after, "g")
+            return Response(
+                url=url, method=method, status=429,
+                size=len(_RATE_LIMIT_BODY),
+                body=_RATE_LIMIT_BODY if method == "GET" else "",
+                mime_type="text/html", fault=fault.kind,
+                headers={"Retry-After": header},
+            )
+        response = fetch()
+        if fault.kind == "slow":
+            response.latency = fault.latency
+            response.fault = fault.kind
+            return response
+        # truncate: cut the body mid-transfer; the received size shrinks
+        # accordingly (the volume cost model counts received bytes).
+        fraction = self.plan.spec.truncate_fraction
+        if response.body:
+            response.body = response.body[: int(len(response.body) * fraction)]
+        response.size = max(1, int(response.size * fraction))
+        response.truncated = True
+        response.fault = fault.kind
+        return response

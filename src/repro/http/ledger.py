@@ -21,6 +21,12 @@ class CostLedger:
     bytes_total: int = 0
     bytes_target: int = 0
     bytes_non_target: int = 0
+    #: retries issued by the client's RetryPolicy (each retry is also a
+    #: full request above — this counts the *extra* attempts).
+    n_retries: int = 0
+    #: simulated seconds spent waiting: retry backoff, honoured
+    #: Retry-After values, and slow-response latency.  Never wall-clock.
+    wait_seconds: float = 0.0
 
     @property
     def n_requests(self) -> int:
@@ -40,15 +46,31 @@ class CostLedger:
         else:
             self.bytes_non_target += size
 
+    def record_retry(self, wait_seconds: float) -> None:
+        """Charge one scheduled retry and its backoff wait."""
+        self.n_retries += 1
+        self.record_wait(wait_seconds)
+
+    def record_wait(self, seconds: float) -> None:
+        """Charge simulated wait time (backoff, Retry-After, slow faults)."""
+        if seconds < 0:
+            raise ValueError("wait time cannot be negative")
+        self.wait_seconds += seconds
+
     def estimated_seconds(
         self, politeness_delay: float = 1.0, bandwidth_bps: float = 10e6
     ) -> float:
-        """Estimated crawl duration: politeness waits + transfer time.
+        """Estimated crawl duration: politeness waits + transfer time +
+        simulated retry/latency waits.
 
         Crawling ethics require ~1 s between successive requests; volume
         transfers at ``bandwidth_bps`` bytes/second.
         """
-        return self.n_requests * politeness_delay + self.bytes_total / bandwidth_bps
+        return (
+            self.n_requests * politeness_delay
+            + self.bytes_total / bandwidth_bps
+            + self.wait_seconds
+        )
 
     def snapshot(self) -> "CostLedger":
         return CostLedger(
@@ -57,4 +79,6 @@ class CostLedger:
             bytes_total=self.bytes_total,
             bytes_target=self.bytes_target,
             bytes_non_target=self.bytes_non_target,
+            n_retries=self.n_retries,
+            wait_seconds=self.wait_seconds,
         )

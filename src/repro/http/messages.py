@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import datetime as _datetime
+import email.utils
 from dataclasses import dataclass, field
 
 #: Size in bytes we account for a HEAD response (status line + headers).
@@ -11,6 +13,17 @@ HEAD_RESPONSE_SIZE = 280
 #: MIME type is blocklisted (Sec. 3.4: "its retrieval is immediately
 #: interrupted").
 INTERRUPTED_RESPONSE_SIZE = 512
+
+#: Synthetic status for a connection timeout (no response bytes arrived).
+#: 598 is the de-facto "network read timeout" convention; it keeps
+#: timeouts on the ordinary ``is_error`` path without inventing a
+#: parallel error channel.
+TIMEOUT_STATUS = 598
+
+#: Statuses a :class:`~repro.http.client.RetryPolicy` treats as
+#: *transient*: retrying the same request may succeed.  Everything else
+#: ``>= 400`` is *permanent* (404/410/403 do not heal by retrying).
+TRANSIENT_STATUSES = frozenset({429, 500, 502, 503, 504, TIMEOUT_STATUS})
 
 
 @dataclass
@@ -35,6 +48,18 @@ class Response:
     headers: dict[str, str] = field(default_factory=dict)
     #: True when the transfer was cut off due to a blocklisted MIME type.
     interrupted: bool = False
+    #: Injected-fault tag (``repro.http.faults`` kinds) or None on the
+    #: clean path; drives the ``fault_injected`` observability event.
+    fault: str | None = None
+    #: True when the body was cut short mid-transfer (fault layer); a
+    #: truncated payload is unreliable and therefore retryable.
+    truncated: bool = False
+    #: Simulated extra transfer seconds (slow-response fault); charged
+    #: to the ledger's wait-time accounting, never to a real clock.
+    latency: float = 0.0
+    #: Set by the client when a retry policy exhausted its attempts on a
+    #: transient failure — the crawler requeues or dead-letters the URL.
+    abandoned: bool = False
 
     @property
     def ok(self) -> bool:
@@ -48,8 +73,59 @@ class Response:
     def is_error(self) -> bool:
         return self.status >= 400
 
+    @property
+    def is_transient_error(self) -> bool:
+        """A failure that retrying may fix: 429/5xx-burst/timeout
+        statuses, or a truncated body (Content-Length mismatch)."""
+        return self.status in TRANSIENT_STATUSES or self.truncated
+
+    @property
+    def is_permanent_error(self) -> bool:
+        """An error no retry heals (404, 410, 403, …) — dead-letter it."""
+        return self.is_error and not self.is_transient_error
+
+    def retry_after_seconds(self) -> float | None:
+        """The parsed ``Retry-After`` header, if present and valid."""
+        value = self.headers.get("Retry-After")
+        if value is None:
+            return None
+        return parse_retry_after(value)
+
     def mime_root(self) -> str | None:
         """MIME type without parameters (``text/html; charset=…`` → ``text/html``)."""
         if self.mime_type is None:
             return None
         return self.mime_type.split(";")[0].strip().lower()
+
+
+def parse_retry_after(
+    value: str, now: _datetime.datetime | None = None
+) -> float | None:
+    """Parse a ``Retry-After`` header into seconds to wait.
+
+    RFC 9110 allows two forms: *delta-seconds* (``"120"``) and an
+    absolute *HTTP-date* (``"Wed, 21 Oct 2015 07:28:00 GMT"``).  The
+    date form needs a reference instant to be turned into a delta;
+    because library code must never read the wall clock (DET002), the
+    caller passes ``now`` explicitly — with ``now=None`` a date-form
+    header returns ``None`` and the caller falls back to its own
+    backoff.  Garbage returns ``None``; negative waits clamp to 0.
+    """
+    text = value.strip()
+    if not text:
+        return None
+    try:
+        return max(0.0, float(int(text)))
+    except ValueError:
+        pass
+    try:
+        when = email.utils.parsedate_to_datetime(text)
+    except (TypeError, ValueError):
+        return None
+    if when is None or now is None:
+        return None
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=_datetime.timezone.utc)
+    if now.tzinfo is None:
+        now = now.replace(tzinfo=_datetime.timezone.utc)
+    return max(0.0, (when - now).total_seconds())

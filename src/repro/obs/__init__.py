@@ -34,7 +34,10 @@ from repro.obs.events import (
     ClassifierBatchTrained,
     CrawlEvent,
     EarlyStopTriggered,
+    FaultInjected,
     FetchEvent,
+    RequestAbandoned,
+    RetryScheduled,
     TargetFound,
     event_from_dict,
 )
@@ -64,6 +67,9 @@ __all__ = [
     "ClassifierBatchTrained",
     "TargetFound",
     "EarlyStopTriggered",
+    "FaultInjected",
+    "RetryScheduled",
+    "RequestAbandoned",
     "EVENT_TYPES",
     "event_from_dict",
     # observer protocol

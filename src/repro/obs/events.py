@@ -144,6 +144,59 @@ class EarlyStopTriggered(CrawlEvent):
     patience: int      # kappa
 
 
+@dataclass(frozen=True)
+class FaultInjected(CrawlEvent):
+    """The fault layer tampered with one request.
+
+    Emitted by ``HttpClient._record`` when a response carries a
+    ``fault`` tag (set by :class:`~repro.http.faults.FaultyServer`,
+    including the synthetic timeout response).  ``ordinal`` matches the
+    :class:`FetchEvent` of the faulted request.
+    """
+
+    kind: ClassVar[str] = "fault_injected"
+
+    ordinal: int       # request ordinal of the faulted request
+    url: str
+    fault: str         # fault kind (repro.http.faults.FAULT_KINDS)
+    status: int        # resulting status (0 never occurs; 598 = timeout)
+
+
+@dataclass(frozen=True)
+class RetryScheduled(CrawlEvent):
+    """The retry policy decided to re-issue a failed request.
+
+    Emitted by ``HttpClient`` between the failed attempt and its retry.
+    ``wait_seconds`` is the simulated backoff (jittered exponential,
+    raised to any honoured ``Retry-After``) charged to the ledger.
+    """
+
+    kind: ClassVar[str] = "retry_scheduled"
+
+    ordinal: int       # request ordinal of the failed attempt
+    url: str
+    attempt: int       # 1-based attempt number that just failed
+    wait_seconds: float
+    reason: str        # "status_429", "timeout", "truncated", ...
+
+
+@dataclass(frozen=True)
+class RequestAbandoned(CrawlEvent):
+    """Retries were exhausted; the request stays failed.
+
+    Emitted by ``HttpClient`` after the last transient failure of a
+    request whose retry policy ran out of attempts (or retry budget).
+    The crawler reacts by requeueing the URL or dead-lettering it.
+    """
+
+    kind: ClassVar[str] = "request_abandoned"
+
+    ordinal: int       # request ordinal of the final failed attempt
+    url: str
+    attempts: int      # total attempts made (first try + retries)
+    reason: str        # classification of the final failure
+
+
 #: Wire-format registry: kind tag -> event class.
 EVENT_TYPES: dict[str, type[CrawlEvent]] = {
     cls.kind: cls
@@ -154,6 +207,9 @@ EVENT_TYPES: dict[str, type[CrawlEvent]] = {
         ClassifierBatchTrained,
         TargetFound,
         EarlyStopTriggered,
+        FaultInjected,
+        RetryScheduled,
+        RequestAbandoned,
     )
 }
 

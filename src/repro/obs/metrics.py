@@ -24,7 +24,10 @@ from repro.obs.events import (
     ClassifierBatchTrained,
     CrawlEvent,
     EarlyStopTriggered,
+    FaultInjected,
     FetchEvent,
+    RequestAbandoned,
+    RetryScheduled,
     TargetFound,
 )
 
@@ -191,6 +194,8 @@ REWARD_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0)
 #: requests elapsed between consecutive targets ("latency" in simulated
 #: steps — the politeness-delay-free analogue of wall-clock latency)
 GAP_BUCKETS: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0)
+#: simulated seconds waited before a retry (backoff + Retry-After)
+RETRY_WAIT_BUCKETS: tuple[float, ...] = (0.5, 1.0, 2.0, 5.0, 10.0, 30.0)
 
 
 class MetricsObserver:
@@ -237,6 +242,19 @@ class MetricsObserver:
             "classifier_recent_accuracy", "accuracy over the last <=500 labels"
         )
         self._early = r.counter("early_stops", "early-stopping rule firings")
+        self._faults = r.counter(
+            "faults_injected", "requests tampered with by the fault layer"
+        )
+        self._retries = r.counter(
+            "retries_total", "retry attempts scheduled by the retry policy"
+        )
+        self._abandoned = r.counter(
+            "requests_abandoned", "requests given up after exhausting retries"
+        )
+        self._retry_waits = r.histogram(
+            "retry_wait_seconds", RETRY_WAIT_BUCKETS,
+            "simulated backoff seconds before each retry",
+        )
         self._last_target_ordinal = 0
 
     def on_event(self, event: CrawlEvent) -> None:
@@ -271,6 +289,13 @@ class MetricsObserver:
             pass  # counted from the confirming FetchEvent
         elif isinstance(event, EarlyStopTriggered):
             self._early.inc()
+        elif isinstance(event, FaultInjected):
+            self._faults.inc()
+        elif isinstance(event, RetryScheduled):
+            self._retries.inc()
+            self._retry_waits.observe(event.wait_seconds)
+        elif isinstance(event, RequestAbandoned):
+            self._abandoned.inc()
 
     def harvest_rate(self) -> float:
         """Targets per request so far (0.0 before the first request)."""

@@ -57,7 +57,15 @@ class MemorySink:
 
 class JsonlSink:
     """Streams events to a JSONL file; use as a context manager (or call
-    :meth:`close`) so the file is flushed before readers open it."""
+    :meth:`close`) so the file is released before readers open it.
+
+    Writes are **line-buffered**: every event line reaches the OS as
+    soon as it is written, so a crawl that dies mid-run (e.g. under
+    fault injection) still leaves a complete, parseable trace of every
+    event emitted before the crash — no truncated trailing line.
+    ``close()`` is idempotent and runs even when the ``with`` body
+    raises; events sent after close fail loudly instead of vanishing.
+    """
 
     enabled = True
 
@@ -66,20 +74,37 @@ class JsonlSink:
     ) -> None:
         self.path = Path(path)
         self.n_events = 0
-        self._handle = self.path.open("w", encoding="utf-8")
+        # buffering=1 = line-buffered text mode: each "\n" flushes.
+        self._handle = self.path.open("w", encoding="utf-8", buffering=1)
         header = {"format": FORMAT_VERSION, "stream": STREAM_TAG}
         if meta:
             header.update(meta)
         self._handle.write(json.dumps(header, separators=(",", ":")) + "\n")
 
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
     def on_event(self, event: CrawlEvent) -> None:
+        if self._handle.closed:
+            raise ValueError(
+                f"JsonlSink({self.path}) is closed; events emitted after "
+                "close would be lost silently"
+            )
         self._handle.write(
             json.dumps(event.to_dict(), separators=(",", ":")) + "\n"
         )
         self.n_events += 1
 
+    def flush(self) -> None:
+        """Push buffered bytes to the OS (a no-op under line buffering,
+        kept for sinks opened on exotic streams)."""
+        if not self._handle.closed:
+            self._handle.flush()
+
     def close(self) -> None:
         if not self._handle.closed:
+            self._handle.flush()
             self._handle.close()
 
     def __enter__(self) -> "JsonlSink":

@@ -11,10 +11,18 @@ Invoke as ``python -m repro.precheck`` (or the ``repro-precheck``
 console script when the package is installed).  Exit code is 0 only
 when every step passes — the same gate CI applies, runnable locally
 before opening a PR (documented in docs/static_analysis.md).
+
+``--ci`` switches to machine-readable mode: child output still streams
+through, but the final line on stdout is a single JSON object
+summarising every check (``{"ok": ..., "checks": [...]}``) for the CI
+workflow (``.github/workflows/ci.yml``) to parse, and the exit code is
+non-zero iff any check failed.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import subprocess
 import sys
@@ -48,8 +56,46 @@ def build_commands(python: str | None = None) -> list[tuple[str, list[str]]]:
     return [(label, [interpreter, *argv]) for label, argv in CHECKS]
 
 
+def run_checks(root: Path) -> list[dict[str, object]]:
+    """Run every check from ``root``; one result record per check.
+
+    Each record is JSON-ready: ``{"name", "command", "returncode",
+    "ok"}``.  Child stdout/stderr stream through untouched.
+    """
+    env = dict(os.environ)
+    src = str(root / "src")
+    existing = env.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    records: list[dict[str, object]] = []
+    for label, command in build_commands():
+        print(f"== {label}: {' '.join(command[1:])}")
+        result = subprocess.run(command, cwd=root, env=env)
+        ok = result.returncode == 0
+        print(f"== {label}: {'ok' if ok else f'FAILED (exit {result.returncode})'}")
+        records.append(
+            {
+                "name": label,
+                "command": command,
+                "returncode": result.returncode,
+                "ok": ok,
+            }
+        )
+    return records
+
+
 def main(argv: list[str] | None = None) -> int:
-    del argv  # no flags: the check is deliberately one-shaped
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.precheck",
+        description="Run the pre-PR gate: whole-program lint + doc gates.",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="emit a machine-readable JSON summary as the last stdout "
+        "line and exit non-zero iff any check failed",
+    )
+    args = parser.parse_args(argv)
     root = repo_root()
     if not (root / "src").is_dir() or not (root / "tests").is_dir():
         print(
@@ -57,21 +103,14 @@ def main(argv: list[str] | None = None) -> int:
             "root (need src/ and tests/); run from a source checkout",
             file=sys.stderr,
         )
+        if args.ci:
+            print(json.dumps({"ok": False, "checks": [], "error": "not-a-checkout"}))
         return 2
-    env = dict(os.environ)
-    src = str(root / "src")
-    existing = env.get("PYTHONPATH", "")
-    if src not in existing.split(os.pathsep):
-        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
-    failures = 0
-    for label, command in build_commands():
-        print(f"== {label}: {' '.join(command[1:])}")
-        result = subprocess.run(command, cwd=root, env=env)
-        if result.returncode != 0:
-            failures += 1
-            print(f"== {label}: FAILED (exit {result.returncode})")
-        else:
-            print(f"== {label}: ok")
+    records = run_checks(root)
+    failures = sum(1 for record in records if not record["ok"])
+    if args.ci:
+        print(json.dumps({"ok": failures == 0, "checks": records}))
+        return 1 if failures else 0
     if failures:
         print(f"repro.precheck: {failures} of {len(CHECKS)} checks failed")
         return 1

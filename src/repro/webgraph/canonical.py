@@ -23,8 +23,14 @@ def canonicalize_url(url: str) -> str:
     parts = urlsplit(url)
     scheme = parts.scheme.lower()
     host = (parts.hostname or "").lower()
-    if parts.port is not None and str(parts.port) != _DEFAULT_PORTS.get(scheme):
-        host = f"{host}:{parts.port}"
+    try:
+        port = parts.port
+    except ValueError:
+        # Malformed netloc such as "//::" — urlsplit accepts it but
+        # .port raises; treat it as having no usable port.
+        port = None
+    if port is not None and str(port) != _DEFAULT_PORTS.get(scheme):
+        host = f"{host}:{port}"
     path = parts.path or "/"
     return urlunsplit((scheme, host, path, parts.query, ""))
 

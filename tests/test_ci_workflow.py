@@ -1,0 +1,70 @@
+"""Sanity checks for .github/workflows/ci.yml.
+
+CI configuration cannot be executed locally, but most workflow rot is
+structural: a renamed job, a dropped Python version, a command that
+drifted from the documented tier-1 invocation.  Parsing the YAML and
+asserting the load-bearing parts catches that class of breakage in the
+ordinary test run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = Path(__file__).resolve().parent.parent / ".github" / "workflows" / "ci.yml"
+
+
+def _load():
+    return yaml.safe_load(WORKFLOW.read_text(encoding="utf-8"))
+
+
+def test_workflow_parses_and_declares_all_jobs():
+    doc = _load()
+    assert set(doc["jobs"]) == {"tests", "lint", "precheck", "bench-smoke"}
+
+
+def test_tests_job_runs_tier1_on_both_pythons():
+    doc = _load()
+    tests = doc["jobs"]["tests"]
+    assert tests["strategy"]["matrix"]["python-version"] == ["3.11", "3.12"]
+    commands = [step.get("run", "") for step in tests["steps"]]
+    assert any("python -m pytest -x -q" in c for c in commands)
+    # tier-1 needs the src layout on the path
+    assert doc["env"]["PYTHONPATH"] == "src"
+
+
+def test_setup_python_uses_pip_cache():
+    doc = _load()
+    for job in doc["jobs"].values():
+        for step in job["steps"]:
+            if "setup-python" in str(step.get("uses", "")):
+                assert step["with"]["cache"] == "pip"
+
+
+def test_lint_and_precheck_run_the_documented_gates():
+    doc = _load()
+    lint_cmds = [s.get("run", "") for s in doc["jobs"]["lint"]["steps"]]
+    assert any("python -m repro.lint --project src" in c for c in lint_cmds)
+    pre_cmds = [s.get("run", "") for s in doc["jobs"]["precheck"]["steps"]]
+    assert any("python -m repro.precheck --ci" in c for c in pre_cmds)
+
+
+def test_bench_smoke_is_gated_and_scaled_down():
+    doc = _load()
+    bench = doc["jobs"]["bench-smoke"]
+    assert "schedule" in bench["if"]
+    assert "bench" in bench["if"]
+    scale = float(bench["env"]["REPRO_BENCH_SCALE"])
+    assert 0 < scale < 1.0
+    commands = [s.get("run", "") for s in bench["steps"]]
+    assert any("--benchmark-json" in c for c in commands)
+    uploads = [s for s in bench["steps"] if "upload-artifact" in str(s.get("uses", ""))]
+    assert uploads
+
+
+def test_workflow_commands_reference_real_modules():
+    # the modules the workflow invokes must exist and import cleanly
+    import repro.lint      # noqa: F401
+    import repro.precheck  # noqa: F401

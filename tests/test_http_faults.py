@@ -1,0 +1,270 @@
+"""Tests for the fault-injection layer: determinism, pass-through
+identity, every fault kind, and graceful degradation in crawlers."""
+
+import pytest
+
+from repro.baselines import BFSCrawler
+from repro.core.crawler import SBConfig, sb_oracle
+from repro.http.client import HttpClient, RetryPolicy
+from repro.http.environment import CrawlEnvironment
+from repro.http.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    FaultyServer,
+    InjectedTimeoutError,
+)
+from repro.http.messages import TIMEOUT_STATUS
+from repro.http.server import SimulatedServer
+from repro.obs.sinks import MemorySink
+
+
+# -- FaultSpec validation ---------------------------------------------------
+
+def test_fault_spec_rejects_bad_values():
+    with pytest.raises(ValueError):
+        FaultSpec(rate=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec(kinds=("server_error", "alien"))
+    with pytest.raises(ValueError):
+        FaultSpec(burst_length=0)
+    with pytest.raises(ValueError):
+        FaultSpec(truncate_fraction=1.0)
+
+
+def test_plan_disabled_at_rate_zero():
+    plan = FaultPlan(FaultSpec(rate=0.0), seed=3)
+    assert not plan.enabled
+    assert plan.next_fault("https://s.example/a", "GET") is None
+
+
+# -- determinism ------------------------------------------------------------
+
+def _schedule(plan: FaultPlan, urls: list[str]) -> list[tuple]:
+    out = []
+    for url in urls:
+        try:
+            fault = plan.next_fault(url, "GET")
+        except InjectedTimeoutError:  # pragma: no cover - plan never raises
+            fault = "timeout"
+        out.append(None if fault is None else (fault.kind, fault.status))
+    return out
+
+
+def test_same_seed_same_fault_schedule():
+    urls = [f"https://s.example/p{i % 7}" for i in range(200)]
+    spec = FaultSpec(rate=0.3)
+    a = _schedule(FaultPlan(spec, seed=11), urls)
+    b = _schedule(FaultPlan(spec, seed=11), urls)
+    assert a == b
+    assert any(x is not None for x in a)
+
+
+def test_different_seeds_differ():
+    urls = [f"https://s.example/p{i}" for i in range(200)]
+    spec = FaultSpec(rate=0.3)
+    a = _schedule(FaultPlan(spec, seed=1), urls)
+    b = _schedule(FaultPlan(spec, seed=2), urls)
+    assert a != b
+
+
+def test_reset_rewinds_the_plan():
+    urls = [f"https://s.example/p{i}" for i in range(100)]
+    plan = FaultPlan(FaultSpec(rate=0.4), seed=5)
+    first = _schedule(plan, urls)
+    plan.reset()
+    assert _schedule(plan, urls) == first
+
+
+def test_server_error_bursts_stick_to_the_url():
+    plan = FaultPlan(FaultSpec(rate=1.0, kinds=("server_error",),
+                               burst_length=3), seed=2)
+    url = "https://s.example/a"
+    first = plan.next_fault(url, "GET")
+    assert first.kind == "server_error"
+    # the next two hits on the same URL continue the burst with the same
+    # status and consume no randomness
+    state = plan._rng.getstate()
+    second = plan.next_fault(url, "GET")
+    third = plan.next_fault(url, "GET")
+    assert (second.status, third.status) == (first.status, first.status)
+    assert plan._rng.getstate() == state
+
+
+def test_max_faults_caps_the_plan():
+    plan = FaultPlan(FaultSpec(rate=1.0, kinds=("rate_limit",),
+                               max_faults=2), seed=1)
+    faults = [plan.next_fault(f"https://s.example/p{i}", "GET")
+              for i in range(10)]
+    assert sum(f is not None for f in faults) == 2
+
+
+# -- FaultyServer pass-through identity -------------------------------------
+
+def test_rate_zero_is_byte_identical_to_clean_server(small_site):
+    clean = SimulatedServer(small_site)
+    faulty = FaultyServer(SimulatedServer(small_site),
+                          FaultPlan(FaultSpec(rate=0.0), seed=9))
+    for page in list(small_site.pages())[:50]:
+        assert faulty.get(page.url) == clean.get(page.url)
+        assert faulty.head(page.url) == clean.head(page.url)
+
+
+def test_faulty_server_proxies_graph_and_invalidate(small_site):
+    inner = SimulatedServer(small_site)
+    faulty = FaultyServer(inner, FaultPlan(FaultSpec(rate=0.0)))
+    assert faulty.graph is small_site
+    faulty.invalidate(small_site.root_url)  # must not raise
+
+
+# -- each fault kind through the server -------------------------------------
+
+def _single_kind_server(site, kind, **spec_kwargs):
+    plan = FaultPlan(FaultSpec(rate=1.0, kinds=(kind,), **spec_kwargs), seed=4)
+    return FaultyServer(SimulatedServer(site), plan)
+
+
+def test_injected_server_error(small_site):
+    server = _single_kind_server(small_site, "server_error", burst_length=1)
+    response = server.get(small_site.root_url)
+    assert response.status in (500, 503)
+    assert response.fault == "server_error"
+    assert response.is_transient_error
+
+
+def test_injected_rate_limit_advertises_retry_after(small_site):
+    server = _single_kind_server(small_site, "rate_limit", retry_after=7.0)
+    response = server.get(small_site.root_url)
+    assert response.status == 429
+    assert response.headers["Retry-After"] == "7"
+    assert response.retry_after_seconds() == 7.0
+
+
+def test_injected_timeout_raises(small_site):
+    server = _single_kind_server(small_site, "timeout")
+    with pytest.raises(InjectedTimeoutError):
+        server.get(small_site.root_url)
+
+
+def test_injected_slow_response_carries_latency(small_site):
+    server = _single_kind_server(small_site, "slow", slow_latency=9.0)
+    response = server.get(small_site.root_url)
+    assert response.ok
+    assert response.fault == "slow"
+    assert response.latency == 9.0
+
+
+def test_injected_truncation_shrinks_body_and_size(small_site):
+    clean = SimulatedServer(small_site).get(small_site.root_url)
+    server = _single_kind_server(small_site, "truncate", truncate_fraction=0.5)
+    response = server.get(small_site.root_url)
+    assert response.truncated
+    assert response.fault == "truncate"
+    assert response.is_transient_error
+    assert len(response.body) < len(clean.body)
+    assert 0 < response.size < clean.size
+
+
+# -- client integration -----------------------------------------------------
+
+def test_client_converts_timeout_to_synthetic_response(small_site):
+    server = _single_kind_server(small_site, "timeout")
+    client = HttpClient(server)
+    response = client.get(small_site.root_url)
+    assert response.status == TIMEOUT_STATUS
+    assert response.fault == "timeout"
+    assert client.n_requests == 1  # the attempt is still accounted
+
+
+def test_client_charges_slow_latency_to_ledger(small_site):
+    server = _single_kind_server(small_site, "slow", slow_latency=9.0)
+    client = HttpClient(server)
+    client.get(small_site.root_url)
+    assert client.ledger.wait_seconds == 9.0
+
+
+def test_truncated_target_not_counted_as_target(small_site):
+    from repro.webgraph.model import PageKind
+
+    target = next(p for p in small_site.pages() if p.kind is PageKind.TARGET)
+    server = _single_kind_server(small_site, "truncate")
+    client = HttpClient(server)
+    client.get(target.url)
+    assert not client.trace.records[-1].is_target
+
+
+def test_fault_injected_event_emitted(small_site):
+    server = _single_kind_server(small_site, "server_error", burst_length=1)
+    sink = MemorySink()
+    client = HttpClient(server, observer=sink)
+    client.get(small_site.root_url)
+    kinds = [e.kind for e in sink.events]
+    assert "fault_injected" in kinds
+    event = sink.of_kind("fault_injected")[0]
+    assert event.fault == "server_error"
+    assert event.status in (500, 503)
+
+
+# -- graceful degradation in crawlers ---------------------------------------
+
+FLAKY = dict(rate=0.25, burst_length=2)
+
+
+def _flaky_env(site, seed=1, observer=None, **spec):
+    return CrawlEnvironment(
+        site,
+        observer=observer,
+        fault_plan=FaultPlan(FaultSpec(**{**FLAKY, **spec}), seed=seed),
+        retry_policy=RetryPolicy(seed=seed, max_attempts=3),
+    )
+
+
+def test_bfs_survives_heavy_faults(small_site):
+    env = _flaky_env(small_site)
+    result = BFSCrawler().crawl(env)
+    assert result.n_requests > 0
+    assert result.targets  # still finds some targets
+    assert result.targets <= env.target_urls()
+
+
+def test_sb_crawler_survives_heavy_faults(small_site):
+    env = _flaky_env(small_site)
+    result = sb_oracle(SBConfig(seed=1)).crawl(env)
+    assert result.n_requests > 0
+    assert result.targets <= env.target_urls()
+
+
+def test_crawl_under_faults_is_deterministic(small_site):
+    runs = [BFSCrawler().crawl(_flaky_env(small_site, seed=3)) for _ in range(2)]
+    a, b = runs
+    assert [r.url for r in a.trace.records] == [r.url for r in b.trace.records]
+    assert a.targets == b.targets
+    assert a.dead_letters == b.dead_letters
+
+
+def test_abandoned_urls_end_in_dead_letters(small_site):
+    # everything times out: every URL must eventually be dead-lettered,
+    # and the crawl must terminate (bounded requeues, bounded retries)
+    env = CrawlEnvironment(
+        small_site,
+        fault_plan=FaultPlan(FaultSpec(rate=1.0, kinds=("timeout",)), seed=1),
+        retry_policy=RetryPolicy(seed=1, max_attempts=2, total_budget=64),
+    )
+    result = BFSCrawler().crawl(env)
+    assert result.targets == set()
+    assert result.dead_letters
+    assert result.n_dead_letters == len(result.dead_letters)
+
+
+def test_clean_path_unchanged_by_disabled_fault_stack(small_site):
+    plain = CrawlEnvironment(small_site)
+    disarmed = CrawlEnvironment(
+        small_site, fault_plan=FaultPlan(FaultSpec(rate=0.0), seed=1)
+    )
+    a = BFSCrawler().crawl(plain)
+    b = BFSCrawler().crawl(disarmed)
+    assert [r.url for r in a.trace.records] == [r.url for r in b.trace.records]
+    assert a.targets == b.targets
+    # organic permanent errors (the site's own 404s) are dead-lettered
+    # identically on both paths — the fault stack adds nothing
+    assert a.dead_letters == b.dead_letters

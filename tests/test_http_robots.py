@@ -139,6 +139,57 @@ def test_polite_bfs_skips_trap(trap_env):
     assert result.targets == trap_env.target_urls()
 
 
+def test_empty_disallow_value_is_ignored():
+    policy = parse_robots_txt("User-agent: *\nDisallow:\n")
+    assert policy.allowed("https://s.example/anything")
+    assert policy.disallow == []
+
+
+def test_equal_length_allow_wins_tie():
+    policy = parse_robots_txt("User-agent: *\nDisallow: /a/\nAllow: /a/\n")
+    assert policy.allowed("https://s.example/a/page")
+
+
+def test_unknown_directives_and_garbage_delay_ignored():
+    text = (
+        "User-agent: *\n"
+        "Noindex: /x/\n"
+        "Crawl-delay: soon\n"
+        "Disallow: /y/\n"
+    )
+    policy = parse_robots_txt(text)
+    assert policy.crawl_delay is None
+    assert policy.allowed("https://s.example/x/page")
+    assert not policy.allowed("https://s.example/y/page")
+
+
+def test_directive_keys_case_insensitive():
+    policy = parse_robots_txt("USER-AGENT: *\nDISALLOW: /z/\n")
+    assert not policy.allowed("https://s.example/z/page")
+
+
+def test_user_agent_lookup_case_insensitive():
+    policy = parse_robots_txt("User-agent: BadBot\nDisallow: /\n",
+                              user_agent="badbot")
+    assert not policy.allowed("https://s.example/anything")
+
+
+def test_fetch_robots_policy_degrades_when_robots_unreachable(small_site):
+    """An abandoned robots.txt fetch (all-timeouts fault plan) must fall
+    back to allow-everything, not crash the crawl setup."""
+    from repro.http.client import RetryPolicy
+    from repro.http.faults import FaultPlan, FaultSpec
+
+    env = CrawlEnvironment(
+        small_site,
+        fault_plan=FaultPlan(FaultSpec(rate=1.0, kinds=("timeout",)), seed=1),
+        retry_policy=RetryPolicy(seed=1, max_attempts=2),
+    )
+    client = env.new_client()
+    policy = fetch_robots_policy(client, env.root_url)
+    assert policy.allowed(env.root_url + "/anything")
+
+
 def test_sb_robots_can_be_disabled(trap_env):
     result = sb_oracle(SBConfig(seed=1, respect_robots=False)).crawl(trap_env)
     trap_fetches = [

@@ -1,0 +1,70 @@
+"""Tests for ``repro.precheck --ci``: JSON summary and exit codes.
+
+The real checks (whole-program lint + doc-gate pytest run) are too slow
+to run inside the unit suite, so these tests monkeypatch ``CHECKS`` with
+tiny ``python -c`` commands and verify the reporting contract the CI
+workflow relies on: the last stdout line is a JSON object, and the exit
+code is non-zero iff any check failed.
+"""
+
+import json
+
+import pytest
+
+import repro.precheck as precheck
+
+PASS = ("-c", "print('fine')")
+FAIL = ("-c", "import sys; sys.exit(3)")
+
+
+def _run_ci(capsys) -> tuple[int, dict]:
+    code = precheck.main(["--ci"])
+    out = capsys.readouterr().out
+    summary = json.loads(out.strip().splitlines()[-1])
+    return code, summary
+
+
+def test_ci_mode_reports_success(monkeypatch, capsys):
+    monkeypatch.setattr(precheck, "CHECKS", (("quick check", PASS),))
+    code, summary = _run_ci(capsys)
+    assert code == 0
+    assert summary["ok"] is True
+    assert [c["name"] for c in summary["checks"]] == ["quick check"]
+    assert summary["checks"][0]["ok"] is True
+    assert summary["checks"][0]["returncode"] == 0
+
+
+def test_ci_mode_fails_loudly_on_injected_failure(monkeypatch, capsys):
+    monkeypatch.setattr(
+        precheck, "CHECKS", (("good", PASS), ("bad", FAIL))
+    )
+    code, summary = _run_ci(capsys)
+    assert code == 1
+    assert summary["ok"] is False
+    by_name = {c["name"]: c for c in summary["checks"]}
+    assert by_name["good"]["ok"] is True
+    assert by_name["bad"]["ok"] is False
+    assert by_name["bad"]["returncode"] == 3
+
+
+def test_human_mode_unchanged(monkeypatch, capsys):
+    monkeypatch.setattr(precheck, "CHECKS", (("good", PASS),))
+    assert precheck.main([]) == 0
+    out = capsys.readouterr().out
+    assert "all checks passed" in out
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(out.strip().splitlines()[-1])
+
+
+def test_human_mode_failure_exit_code(monkeypatch, capsys):
+    monkeypatch.setattr(precheck, "CHECKS", (("bad", FAIL),))
+    assert precheck.main([]) == 1
+    assert "1 of 1 checks failed" in capsys.readouterr().out
+
+
+def test_ci_summary_commands_are_real_argv(monkeypatch, capsys):
+    monkeypatch.setattr(precheck, "CHECKS", (("quick check", PASS),))
+    _, summary = _run_ci(capsys)
+    command = summary["checks"][0]["command"]
+    assert isinstance(command, list)
+    assert command[1:] == list(PASS)

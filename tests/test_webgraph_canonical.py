@@ -67,6 +67,21 @@ def test_resolve_fragment_only_is_same_page():
     assert resolve_link("https://x.example/p", "#top") == "https://x.example/p"
 
 
+def test_malformed_port_treated_as_no_port():
+    # urlsplit accepts "//::" but raises ValueError on .port access;
+    # canonicalisation must degrade instead of crashing (found by the
+    # idempotence property below).
+    assert canonicalize_url("https://::") == "https:///"
+    assert (
+        resolve_link("https://www.x.example/base/page", "//::")
+        == "https:///"
+    )
+
+
+def test_non_numeric_port_dropped():
+    assert canonicalize_url("https://x.example:abc/a") == "https://x.example/a"
+
+
 @given(st.text(alphabet="abc/.?#:=&", max_size=25))
 @settings(max_examples=80)
 def test_canonicalisation_idempotent(suffix):
