@@ -147,8 +147,7 @@ class TresCrawler(Crawler):
                 frontier,
                 key=lambda u: model.predict_proba(frontier[u]),
             )
-            features = frontier.pop(best_url)
-            del features
+            frontier.pop(best_url)
             response = client.get(best_url)
             visited.add(best_url)
             if response.interrupted or response.is_error:

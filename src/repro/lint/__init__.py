@@ -24,18 +24,25 @@ pressure.  See ``docs/static_analysis.md`` for the rule catalogue.
 """
 
 from repro.lint.cache import CacheStats, LintCache
+from repro.lint.cfg import CFG, build_cfg
 from repro.lint.config import RuleConfig, load_pyproject_config
+from repro.lint.dataflow import (ForwardAnalysis, ReachingDefinitions,
+                                 solve_forward)
+from repro.lint.df_rules import DataflowRule, default_df_rules
 from repro.lint.engine import (Finding, LintRun, LintUsageError, Linter,
                                Rule, scan_noqa)
 from repro.lint.project import (ProjectModel, ProjectRule, build_project,
                                 default_project_rules)
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_stats, render_text
 from repro.lint.rules import default_rules
 from repro.lint.symbols import ModuleSymbols, extract_symbols
 
 __all__ = [
+    "CFG",
     "CacheStats",
+    "DataflowRule",
     "Finding",
+    "ForwardAnalysis",
     "LintCache",
     "LintRun",
     "LintUsageError",
@@ -43,14 +50,19 @@ __all__ = [
     "ModuleSymbols",
     "ProjectModel",
     "ProjectRule",
+    "ReachingDefinitions",
     "Rule",
     "RuleConfig",
+    "build_cfg",
     "build_project",
+    "default_df_rules",
     "default_project_rules",
     "default_rules",
     "extract_symbols",
     "load_pyproject_config",
     "render_json",
+    "render_stats",
     "render_text",
     "scan_noqa",
+    "solve_forward",
 ]

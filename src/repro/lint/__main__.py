@@ -8,7 +8,11 @@ Exit codes follow the usual linter contract:
 
 ``--project`` enables the phase-2 whole-program pass (FLOW rules over
 the project symbol graph); it is implied when ``--select`` names a FLOW
-code.  Results are served from the content-hash incremental cache
+code or DF003 (whose report needs the call graph).  The phase-3
+dataflow pass (DF rules over per-function CFGs) runs by default and is
+turned off with ``--no-dataflow``.  ``--select``/``--disable`` accept
+bare family prefixes (``--select DF`` = every DF rule).  Results are
+served from the content-hash incremental cache
 (``.repro-lint-cache.json``) unless ``--no-cache`` is given.
 """
 
@@ -20,9 +24,10 @@ from dataclasses import replace
 from pathlib import Path
 
 from repro.lint.config import load_pyproject_config
+from repro.lint.df_rules import default_df_rules
 from repro.lint.engine import LintUsageError, Linter
 from repro.lint.project import default_project_rules
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_stats, render_text
 from repro.lint.rules import default_rules
 
 EXIT_CLEAN = 0
@@ -53,12 +58,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--disable", default="",
-        help="comma-separated rule codes to turn off (adds to pyproject)",
+        help="comma-separated rule codes or family prefixes to turn off "
+             "(adds to pyproject)",
     )
     parser.add_argument(
         "--select", default="",
-        help="comma-separated rule codes to run exclusively (overrides "
-             "the pyproject disable list, ruff semantics)",
+        help="comma-separated rule codes or family prefixes (e.g. DF) to "
+             "run exclusively (overrides the pyproject disable list, ruff "
+             "semantics)",
     )
     parser.add_argument(
         "--config", default=None, metavar="PYPROJECT",
@@ -71,7 +78,17 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--project", action=argparse.BooleanOptionalAction, default=None,
         help="run the whole-program FLOW pass over the project symbol "
-             "graph (default: only when --select names a FLOW rule)",
+             "graph (default: only when --select names a FLOW rule or "
+             "DF003)",
+    )
+    parser.add_argument(
+        "--dataflow", action=argparse.BooleanOptionalAction, default=True,
+        help="run the per-function CFG/dataflow DF pass "
+             "(--no-dataflow turns phase 3 off)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-phase timing and cache hit/miss counts to stderr",
     )
     parser.add_argument(
         "--cache", default=DEFAULT_CACHE, metavar="PATH",
@@ -106,21 +123,36 @@ def _discover_reference_roots(paths: list[str]) -> list[Path]:
     return []
 
 
+def _expand_families(tokens: set[str], known: set[str]) -> set[str]:
+    """Expand bare family prefixes (``DF``, ``FLOW``) to their codes."""
+    families: dict[str, set[str]] = {}
+    for code in known:
+        families.setdefault(code.rstrip("0123456789"), set()).add(code)
+    expanded: set[str] = set()
+    for token in tokens:
+        expanded.update(families.get(token, {token}))
+    return expanded
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
 
     rules = default_rules()
     project_rules = default_project_rules()
+    df_rules = default_df_rules()
     if args.list_rules:
-        for rule in [*rules, *project_rules]:
+        for rule in [*rules, *project_rules, *df_rules]:
             print(f"{rule.code}  {rule.name}: {rule.rationale}")
         return EXIT_CLEAN
 
     known = {rule.code for rule in rules}
     known.update(rule.code for rule in project_rules)
+    known.update(rule.code for rule in df_rules)
     selected = {c.strip().upper() for c in args.select.split(",") if c.strip()}
     disabled = {c.strip().upper() for c in args.disable.split(",") if c.strip()}
+    selected = _expand_families(selected, known)
+    disabled = _expand_families(disabled, known)
     unknown = (selected | disabled) - known
     if unknown:
         print(f"error: unknown rule code(s): {sorted(unknown)}",
@@ -142,6 +174,7 @@ def main(argv: list[str] | None = None) -> int:
         rules = [rule for rule in rules if rule.code in selected]
         project_rules = [rule for rule in project_rules
                          if rule.code in selected]
+        df_rules = [rule for rule in df_rules if rule.code in selected]
         # An explicit --select wins over the pyproject disable list
         # (ruff semantics): lift the selected codes out of `disable` so
         # the Linter does not silently drop them again.
@@ -150,16 +183,23 @@ def main(argv: list[str] | None = None) -> int:
         rules = [rule for rule in rules if rule.code not in disabled]
         project_rules = [rule for rule in project_rules
                          if rule.code not in disabled]
+        df_rules = [rule for rule in df_rules if rule.code not in disabled]
+    if not args.dataflow:
+        df_rules = []  # --no-dataflow wins, even over an explicit select
 
     project = args.project
     if project is None:
-        project = any(code.startswith("FLOW") for code in selected)
+        # DF003's findings only materialise in the project phase (its
+        # reachability needs the call graph), so selecting it implies
+        # --project, exactly like selecting a FLOW rule.
+        project = (any(code.startswith("FLOW") for code in selected)
+                   or "DF003" in selected)
     cache_path = None if args.no_cache else args.cache
     reference_roots = _discover_reference_roots(args.paths) if project else ()
 
     try:
         linter = Linter(config=config, rules=rules,
-                        project_rules=project_rules)
+                        project_rules=project_rules, df_rules=df_rules)
         run = linter.run(args.paths, project=project, cache_path=cache_path,
                          reference_roots=reference_roots)
     except LintUsageError as exc:
@@ -168,6 +208,8 @@ def main(argv: list[str] | None = None) -> int:
 
     renderer = render_json if args.format == "json" else render_text
     print(renderer(run.findings, cache=run.cache))
+    if args.stats:
+        print(render_stats(run), file=sys.stderr)
     return EXIT_FINDINGS if run.findings else EXIT_CLEAN
 
 

@@ -29,11 +29,13 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.lint.df_rules import MutationFact
 from repro.lint.engine import Finding
 from repro.lint.symbols import ModuleSymbols
 
 #: Bumped when the on-disk cache layout itself changes.
-CACHE_FORMAT = 1
+#: 2: per-file dataflow facts (``df_facts``) joined the entry layout.
+CACHE_FORMAT = 2
 
 
 def content_sha(data: bytes) -> str:
@@ -49,6 +51,9 @@ class CachedFile:
     suppressed: list[Finding]
     symbols: ModuleSymbols | None
     noqa: dict[int, frozenset[str] | None]
+    #: DF rule code -> per-file dataflow facts (phase 3); today only
+    #: DF003's :class:`~repro.lint.df_rules.MutationFact` list.
+    df_facts: dict[str, list] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -59,6 +64,10 @@ class CachedFile:
             "noqa": {
                 str(line): (None if codes is None else sorted(codes))
                 for line, codes in self.noqa.items()
+            },
+            "df_facts": {
+                code: [fact.to_dict() for fact in facts]
+                for code, facts in sorted(self.df_facts.items())
             },
         }
 
@@ -73,6 +82,10 @@ class CachedFile:
             noqa={
                 int(line): (None if codes is None else frozenset(codes))
                 for line, codes in data["noqa"].items()
+            },
+            df_facts={
+                code: [MutationFact.from_dict(fact) for fact in facts]
+                for code, facts in data["df_facts"].items()
             },
         )
 

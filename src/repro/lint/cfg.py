@@ -1,0 +1,337 @@
+"""Intraprocedural control-flow graphs: the substrate of lint phase 3.
+
+A :class:`CFG` is built per function definition by :func:`build_cfg`.
+Statements are grouped into :class:`Block`\\ s (maximal straight-line
+runs); edges model every control construct the dataflow rules care
+about — ``if``/``for``/``while`` branching and loop back-edges,
+``break``/``continue``, ``try``/``except``/``else``/``finally``,
+``with`` bodies, and ``return``/``raise`` exits.
+
+Design choices, tuned for lint-grade dataflow rather than compilation:
+
+* **Compound statements appear as their own header.**  A block holds
+  the ``ast.If``/``ast.While``/``ast.For``/``ast.With`` node itself;
+  only the *header* part (test, iterator, context expressions) is
+  evaluated there — bodies live in successor blocks.  Transfer
+  functions must therefore read headers via
+  :func:`repro.lint.dataflow.header_exprs`, never ``ast.walk`` on the
+  raw node (which would re-visit body statements).
+* **``finally`` is inlined per exit path.**  A ``return`` inside
+  ``try ... finally`` first flows through a fresh copy of the finally
+  body's blocks and only then reaches the exit — so a resource closed
+  in a ``finally`` is closed on *every* path, abrupt or normal, without
+  interprocedural tricks.  The duplicated blocks reference the same AST
+  statements, which is sound for the forward analyses built on top.
+* **Implicit exception edges are approximate.**  Every block created
+  inside a ``try`` body gets an edge to each of that ``try``'s handler
+  entries (the innermost handlers only).  That over-approximates where
+  an exception can be raised — exactly the conservative direction a
+  leak/taint analysis wants.
+* **Determinism.**  Block indices follow construction order, successor
+  lists are sorted, and nothing consults hashes of AST objects, so the
+  same source always yields the same graph.
+
+The virtual ``entry`` block is always index 0 and the virtual ``exit``
+block index 1; both are empty.  Unreachable blocks may exist (e.g. the
+join block after ``if``/``else`` where both arms return); the solver
+simply never visits them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Index of the (empty, virtual) entry block of every CFG.
+ENTRY = 0
+#: Index of the (empty, virtual) exit block of every CFG.
+EXIT = 1
+
+
+@dataclass
+class Block:
+    """One basic block: a run of statements plus its out-edges."""
+
+    index: int
+    stmts: list[ast.AST] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+
+    def add_succ(self, index: int) -> None:
+        if index not in self.succs:
+            self.succs.append(index)
+
+
+class CFG:
+    """Control-flow graph of one function (see module docstring)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks: list[Block] = []
+        self.new_block()  # ENTRY
+        self.new_block()  # EXIT
+
+    # -- construction ----------------------------------------------------
+
+    def new_block(self) -> Block:
+        block = Block(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def edge(self, src: int, dst: int) -> None:
+        self.blocks[src].add_succ(dst)
+
+    def finalize(self) -> "CFG":
+        for block in self.blocks:
+            block.succs.sort()
+        return self
+
+    # -- queries ---------------------------------------------------------
+
+    def successors(self, index: int) -> list[int]:
+        return self.blocks[index].succs
+
+    def predecessors(self) -> dict[int, list[int]]:
+        """Map block index -> sorted predecessor indices."""
+        preds: dict[int, list[int]] = {b.index: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.succs:
+                preds[succ].append(block.index)
+        return preds
+
+    def reachable_from(self, index: int) -> set[int]:
+        """Indices of all blocks reachable from ``index`` (inclusive)."""
+        seen = {index}
+        stack = [index]
+        while stack:
+            for succ in self.blocks[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def block_of(self, stmt: ast.AST) -> int | None:
+        """Index of the first block holding ``stmt`` (identity match)."""
+        for block in self.blocks:
+            for candidate in block.stmts:
+                if candidate is stmt:
+                    return block.index
+        return None
+
+
+#: Stack frames the builder unwinds for abrupt jumps: loops catch
+#: break/continue, except-frames catch raise, finally-frames are inlined
+#: on the way past regardless of jump kind.
+_LOOP, _FINALLY, _EXCEPT = "loop", "finally", "except"
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.cfg = CFG(func.name)
+        self._func = func
+        #: (_LOOP, header_idx, after_idx) | (_FINALLY, stmts) |
+        #: (_EXCEPT, [handler_entry_idx, ...]) — innermost last.
+        self._frames: list[tuple] = []
+
+    def build(self) -> CFG:
+        first = self.cfg.new_block()
+        self.cfg.edge(ENTRY, first.index)
+        end = self._seq(self._func.body, first)
+        if end is not None:
+            self.cfg.edge(end.index, EXIT)
+        return self.cfg.finalize()
+
+    # -- sequencing ------------------------------------------------------
+
+    def _seq(self, stmts: list[ast.stmt], cur: Block | None) -> Block | None:
+        """Thread ``stmts`` from ``cur``; None means control never falls
+        through (every path returned/raised/broke)."""
+        for stmt in stmts:
+            if cur is None:
+                return None  # unreachable trailing statements
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    def _stmt(self, node: ast.stmt, cur: Block) -> Block | None:
+        if isinstance(node, ast.If):
+            return self._if(node, cur)
+        if isinstance(node, (ast.While,)):
+            return self._loop(node, cur, is_for=False)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return self._loop(node, cur, is_for=True)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return self._with(node, cur)
+        if isinstance(node, ast.Try):
+            return self._try(node, cur)
+        if isinstance(node, ast.Return):
+            cur.stmts.append(node)
+            self._unwind(cur, "return")
+            return None
+        if isinstance(node, ast.Raise):
+            cur.stmts.append(node)
+            self._unwind(cur, "raise")
+            return None
+        if isinstance(node, ast.Break):
+            cur.stmts.append(node)
+            self._unwind(cur, "break")
+            return None
+        if isinstance(node, ast.Continue):
+            cur.stmts.append(node)
+            self._unwind(cur, "continue")
+            return None
+        cur.stmts.append(node)
+        return cur
+
+    # -- structured constructs -------------------------------------------
+
+    def _join(self, ends: list[Block | None]) -> Block | None:
+        live = [end for end in ends if end is not None]
+        if not live:
+            return None
+        after = self.cfg.new_block()
+        for end in live:
+            self.cfg.edge(end.index, after.index)
+        return after
+
+    def _if(self, node: ast.If, cur: Block) -> Block | None:
+        cur.stmts.append(node)  # header: the test expression
+        body_entry = self.cfg.new_block()
+        self.cfg.edge(cur.index, body_entry.index)
+        body_end = self._seq(node.body, body_entry)
+        if node.orelse:
+            else_entry = self.cfg.new_block()
+            self.cfg.edge(cur.index, else_entry.index)
+            else_end = self._seq(node.orelse, else_entry)
+            return self._join([body_end, else_end])
+        after = self._join([body_end, cur])
+        return after
+
+    def _loop(self, node, cur: Block, is_for: bool) -> Block | None:
+        header = self.cfg.new_block()
+        self.cfg.edge(cur.index, header.index)
+        header.stmts.append(node)  # header: iter/test (+ For target bind)
+        after = self.cfg.new_block()
+        body_entry = self.cfg.new_block()
+        self.cfg.edge(header.index, body_entry.index)
+        self._frames.append((_LOOP, header.index, after.index))
+        body_end = self._seq(node.body, body_entry)
+        self._frames.pop()
+        if body_end is not None:
+            self.cfg.edge(body_end.index, header.index)
+        if node.orelse:
+            else_entry = self.cfg.new_block()
+            self.cfg.edge(header.index, else_entry.index)
+            else_end = self._seq(node.orelse, else_entry)
+            if else_end is not None:
+                self.cfg.edge(else_end.index, after.index)
+        else:
+            self.cfg.edge(header.index, after.index)
+        return after
+
+    def _with(self, node, cur: Block) -> Block | None:
+        cur.stmts.append(node)  # header: context expressions + as-binds
+        body_entry = self.cfg.new_block()
+        self.cfg.edge(cur.index, body_entry.index)
+        body_end = self._seq(node.body, body_entry)
+        return self._join([body_end])
+
+    def _try(self, node: ast.Try, cur: Block) -> Block | None:
+        handler_entries: list[Block] = []
+        for handler in node.handlers:
+            entry = self.cfg.new_block()
+            entry.stmts.append(handler)  # header: type match + name bind
+            handler_entries.append(entry)
+
+        if node.finalbody:
+            self._frames.append((_FINALLY, node.finalbody))
+        if handler_entries:
+            self._frames.append(
+                (_EXCEPT, [b.index for b in handler_entries])
+            )
+
+        body_entry = self.cfg.new_block()
+        self.cfg.edge(cur.index, body_entry.index)
+        region_start = len(self.cfg.blocks) - 1
+        body_end = self._seq(node.body, body_entry)
+        if node.orelse and body_end is not None:
+            body_end = self._seq(node.orelse, body_end)
+        region_end = len(self.cfg.blocks)
+        # Any statement in the protected region may raise: edge every
+        # region block to every handler entry (innermost handlers only).
+        # The pre-try block is included because an exception can fire
+        # before the first body statement *completes* — without that
+        # edge a handler would only ever see post-statement facts and a
+        # `x = fallback; try: x = compute()` pattern would falsely kill
+        # the fallback definition on the exceptional path.
+        for index in (cur.index, *range(region_start, region_end)):
+            for entry in handler_entries:
+                self.cfg.edge(index, entry.index)
+
+        if handler_entries:
+            self._frames.pop()  # _EXCEPT: a raise in a handler propagates
+
+        handler_ends: list[Block | None] = []
+        for handler, entry in zip(node.handlers, handler_entries):
+            handler_ends.append(self._seq(handler.body, entry))
+
+        normal = [e for e in [body_end, *handler_ends] if e is not None]
+        if not node.finalbody:
+            return self._join(normal) if normal else None
+
+        self._frames.pop()  # _FINALLY: the finally must not re-enter itself
+        result: Block | None = None
+        if normal:
+            fin_entry = self.cfg.new_block()
+            for end in normal:
+                self.cfg.edge(end.index, fin_entry.index)
+            fin_end = self._seq(node.finalbody, fin_entry)
+            result = self._join([fin_end])
+        if not handler_entries:
+            # An uncaught exception in the protected region still runs
+            # the finally before propagating: model one copy whose end
+            # unwinds like a re-raise through the enclosing frames.
+            fin_entry = self.cfg.new_block()
+            for index in (cur.index, *range(region_start, region_end)):
+                self.cfg.edge(index, fin_entry.index)
+            fin_end = self._seq(node.finalbody, fin_entry)
+            if fin_end is not None:
+                self._unwind(fin_end, "raise")
+        return result
+
+    # -- abrupt jumps ----------------------------------------------------
+
+    def _unwind(self, cur: Block, kind: str) -> None:
+        """Route an abrupt jump through enclosing finallys to its target."""
+        saved = list(self._frames)
+        try:
+            while self._frames:
+                frame = self._frames.pop()
+                if frame[0] == _FINALLY:
+                    entry = self.cfg.new_block()
+                    self.cfg.edge(cur.index, entry.index)
+                    end = self._seq(frame[1], entry)
+                    if end is None:
+                        return  # the finally itself diverted control
+                    cur = end
+                elif frame[0] == _EXCEPT and kind == "raise":
+                    for target in frame[1]:
+                        self.cfg.edge(cur.index, target)
+                    return
+                elif frame[0] == _LOOP and kind in ("break", "continue"):
+                    target = frame[2] if kind == "break" else frame[1]
+                    self.cfg.edge(cur.index, target)
+                    return
+            self.cfg.edge(cur.index, EXIT)
+        finally:
+            self._frames = saved
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    return _Builder(func).build()
+
+
+def function_defs(tree: ast.AST):
+    """Yield every function definition in ``tree`` (any nesting depth)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -17,12 +17,15 @@ amount of trailing prose explaining *why* the line is exempt.  Markers
 are recognised only in real comment tokens — a string literal that
 happens to contain the text does not suppress anything.
 
-Beyond the per-file walk, :meth:`Linter.run` drives the two-phase
+Beyond the per-file walk, :meth:`Linter.run` drives the three-phase
 whole-program analysis: phase 1 produces per-file findings plus a
 :class:`~repro.lint.symbols.ModuleSymbols` table for every module
 (optionally served from the content-hash cache in
-:mod:`repro.lint.cache`); phase 2 assembles the project model and runs
-the interprocedural FLOW rules (:mod:`repro.lint.project`).
+:mod:`repro.lint.cache`); phase 3 — interleaved with phase 1, so its
+results cache per file — builds a control-flow graph per function and
+runs the dataflow DF rules (:mod:`repro.lint.df_rules`); phase 2
+assembles the project model and runs the interprocedural FLOW rules
+plus the project half of the DF family (:mod:`repro.lint.project`).
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -240,6 +244,9 @@ class LintRun:
     cache: "CacheStats"
     project: bool
     files: int
+    #: Wall seconds per phase (``per_file`` includes ``dataflow``);
+    #: populated by :meth:`Linter.run` for the ``--stats`` report.
+    timings: dict[str, float] = field(default_factory=dict)
 
 
 class Linter:
@@ -250,7 +257,9 @@ class Linter:
         config: RuleConfig | None = None,
         rules: Iterable[Rule] | None = None,
         project_rules: "Iterable | None" = None,
+        df_rules: "Iterable | None" = None,
     ) -> None:
+        from repro.lint.df_rules import default_df_rules
         from repro.lint.project import default_project_rules
         from repro.lint.rules import default_rules
 
@@ -258,10 +267,14 @@ class Linter:
         all_rules = list(rules) if rules is not None else default_rules()
         all_project = (list(project_rules) if project_rules is not None
                        else default_project_rules())
+        all_df = (list(df_rules) if df_rules is not None
+                  else default_df_rules())
         known = {rule.code for rule in all_rules}
         known.update(rule.code for rule in all_project)
+        known.update(rule.code for rule in all_df)
         known.update(rule.code for rule in default_rules())
         known.update(rule.code for rule in default_project_rules())
+        known.update(rule.code for rule in default_df_rules())
         unknown = set(self.config.disable) - known
         if unknown:
             raise LintUsageError(
@@ -270,6 +283,9 @@ class Linter:
         self.rules = [r for r in all_rules if r.code not in self.config.disable]
         self.project_rules = [r for r in all_project
                               if r.code not in self.config.disable]
+        self.df_rules = [r for r in all_df
+                         if r.code not in self.config.disable]
+        self._df_seconds = 0.0
         self._handlers: dict[str, list[Callable]] = {}
         for rule in self.rules:
             for node_type, handler in rule.handlers().items():
@@ -301,13 +317,35 @@ class Linter:
         ctx = FileContext(path=path, config=self.config, source=source,
                           tree=tree)
         _Dispatcher(self._handlers, ctx).visit(tree)
+        df_facts = self._run_dataflow(tree, ctx)
         return CachedFile(
             sha=sha,
             findings=sorted(ctx.findings),
             suppressed=sorted(ctx.suppressed_findings),
             symbols=extract_symbols(tree, path),
             noqa=dict(ctx._noqa),
+            df_facts=df_facts,
         )
+
+    def _run_dataflow(self, tree: ast.AST, ctx: FileContext) -> dict:
+        """Phase 3: one CFG per function, every DF rule over each, plus
+        the per-module fact collection DF003's project half consumes."""
+        if not self.df_rules:
+            return {}
+        started = time.perf_counter()
+        from repro.lint.cfg import build_cfg, function_defs
+
+        for func in function_defs(tree):
+            cfg = build_cfg(func)
+            for rule in self.df_rules:
+                rule.check_function(func, cfg, ctx)
+        df_facts: dict[str, list] = {}
+        for rule in self.df_rules:
+            facts = rule.collect_module(tree, ctx)
+            if facts:
+                df_facts[rule.code] = facts
+        self._df_seconds += time.perf_counter() - started
+        return df_facts
 
     # -- entry points ----------------------------------------------------
 
@@ -357,7 +395,8 @@ class Linter:
         from repro.lint.rules import RULESET_VERSION
 
         codes = sorted({r.code for r in self.rules}
-                       | {r.code for r in self.project_rules})
+                       | {r.code for r in self.project_rules}
+                       | {r.code for r in self.df_rules})
         return "|".join([RULESET_VERSION, ",".join(codes),
                          config_digest(self.config)])
 
@@ -383,6 +422,8 @@ class Linter:
         stats = CacheStats(enabled=cache_path is not None)
         cache = (LintCache(cache_path, key=self._cache_key())
                  if cache_path is not None else None)
+        self._df_seconds = 0.0
+        phase_started = time.perf_counter()
 
         def analyze_file(file: Path):
             data = file.read_bytes()
@@ -403,15 +444,25 @@ class Linter:
         results = {str(file): analyze_file(file) for file in main_files}
         findings = [f for result in results.values()
                     for f in result.findings]
+        per_file_seconds = time.perf_counter() - phase_started
 
+        project_seconds = 0.0
         if project:
+            phase_started = time.perf_counter()
             findings.extend(self._run_project_phase(
                 main_files, results, reference_roots, analyze_file,
             ))
+            project_seconds = time.perf_counter() - phase_started
         if cache is not None:
             cache.save()
+        timings = {
+            "per_file": per_file_seconds,
+            "dataflow": self._df_seconds,
+            "project": project_seconds,
+        }
         return LintRun(findings=sorted(findings), cache=stats,
-                       project=project, files=len(results))
+                       project=project, files=len(results),
+                       timings=timings)
 
     def _run_project_phase(
         self,
@@ -449,16 +500,20 @@ class Linter:
                     finding.line, set()
                 ).add(finding.rule)
 
+        df_facts = {path: result.df_facts for path, result in results.items()
+                    if result.df_facts}
         model = build_project(symbols, linted_paths=results.keys(),
-                              noqa=noqa, suppressed=suppressed)
+                              noqa=noqa, suppressed=suppressed,
+                              df_facts=df_facts)
 
         findings: list[Finding] = []
         deferred = [r for r in self.project_rules
                     if isinstance(r, UnusedNoqaRule)]
-        for rule in self.project_rules:
-            if isinstance(rule, UnusedNoqaRule):
-                continue  # runs last, over the completed suppression record
-            for finding in rule.check(model, self.config):
+        checks = [rule.check for rule in self.project_rules
+                  if not isinstance(rule, UnusedNoqaRule)]
+        checks.extend(rule.check_project for rule in self.df_rules)
+        for check in checks:
+            for finding in check(model, self.config):
                 codes = noqa.get(finding.path, {}).get(finding.line, False)
                 if codes is False:
                     findings.append(finding)

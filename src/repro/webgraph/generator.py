@@ -298,7 +298,6 @@ class _SiteBuilder:
         n_html: int,
     ) -> list[_PlannedPage]:
         """Lay out HTML pages by depth: root, hubs, spine, catalogs, plain."""
-        profile = self.profile
         rng = self.rng
         data_sections = [s for s in sections if s.is_data]
         data_weights = zipf_weights(len(data_sections))

@@ -46,9 +46,27 @@ def test_setup_python_uses_pip_cache():
 def test_lint_and_precheck_run_the_documented_gates():
     doc = _load()
     lint_cmds = [s.get("run", "") for s in doc["jobs"]["lint"]["steps"]]
-    assert any("python -m repro.lint --project src" in c for c in lint_cmds)
+    assert any("python -m repro.lint --project --format json src" in c
+               for c in lint_cmds)
     pre_cmds = [s.get("run", "") for s in doc["jobs"]["precheck"]["steps"]]
     assert any("python -m repro.precheck --ci" in c for c in pre_cmds)
+
+
+def test_lint_job_archives_report_and_summarises_findings():
+    """The lint job must (a) write the JSON report, (b) upload it as a
+    workflow artifact even on failure, (c) append the findings count to
+    the step summary, and (d) still propagate the lint exit status."""
+    doc = _load()
+    steps = doc["jobs"]["lint"]["steps"]
+    commands = "\n".join(s.get("run", "") for s in steps)
+    assert "lint-report.json" in commands
+    assert "GITHUB_STEP_SUMMARY" in commands
+    assert 'exit "$status"' in commands
+    uploads = [s for s in steps
+               if "upload-artifact" in str(s.get("uses", ""))]
+    assert len(uploads) == 1
+    assert uploads[0]["if"] == "always()"
+    assert uploads[0]["with"]["path"] == "lint-report.json"
 
 
 def test_bench_smoke_is_gated_and_scaled_down():

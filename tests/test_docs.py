@@ -111,6 +111,24 @@ def test_observability_doc_covers_every_event():
             assert f"`{f.name}`" in doc, f"{cls.__name__}.{f.name}"
 
 
+def test_static_analysis_doc_covers_every_df_rule():
+    """The DF catalogue table in docs/static_analysis.md carries one
+    row per registered dataflow rule — code and name both — and names
+    no DF code that is not registered (drift gate, both directions)."""
+    import re
+
+    from repro.lint import default_df_rules
+
+    doc = (REPO / "docs" / "static_analysis.md").read_text()
+    table_rows = {
+        match.group(1): match.group(2)
+        for match in re.finditer(r"^\| (DF\d+) \| ([a-z0-9-]+) \|",
+                                 doc, flags=re.MULTILINE)
+    }
+    registered = {rule.code: rule.name for rule in default_df_rules()}
+    assert table_rows == registered
+
+
 def test_observability_doc_covers_every_metric():
     """The metric catalogue table names every registered instrument."""
     from repro.obs import MetricsObserver

@@ -1,0 +1,207 @@
+"""Unit tests for the intraprocedural CFG builder (lint phase 3).
+
+Assertions are made against statement *identity* (``block_of`` returns
+the block holding a given AST node) instead of hard-coded block indices,
+so the tests survive builder-internal renumbering.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint import CFG, build_cfg
+from repro.lint.cfg import ENTRY, EXIT
+
+
+def cfg_of(source: str) -> tuple[CFG, ast.FunctionDef]:
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(
+        node for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef)
+    )
+    return build_cfg(func), func
+
+
+def first(tree: ast.AST, kind: type) -> ast.AST:
+    return next(n for n in ast.walk(tree) if isinstance(n, kind))
+
+
+def all_of(tree: ast.AST, kind: type) -> list[ast.AST]:
+    return sorted(
+        (n for n in ast.walk(tree) if isinstance(n, kind)),
+        key=lambda n: n.lineno,
+    )
+
+
+def test_virtual_entry_and_exit_blocks_are_empty():
+    cfg, _ = cfg_of("def f():\n    return 1\n")
+    assert cfg.blocks[ENTRY].stmts == []
+    assert cfg.blocks[EXIT].stmts == []
+
+
+def test_straight_line_body_is_one_block():
+    cfg, func = cfg_of("def f():\n    x = 1\n    y = 2\n    return y\n")
+    (body,) = cfg.successors(ENTRY)
+    assert cfg.blocks[body].stmts == func.body
+    assert cfg.successors(body) == [EXIT]  # return unwinds to EXIT
+    assert EXIT in cfg.reachable_from(ENTRY)
+
+
+def test_if_else_arms_join_before_exit():
+    cfg, func = cfg_of(
+        """
+        def f(flag):
+            if flag:
+                x = 1
+            else:
+                x = 2
+            return x
+        """
+    )
+    header = cfg.block_of(first(func, ast.If))
+    then_block = cfg.block_of(func.body[0].body[0])
+    else_block = cfg.block_of(func.body[0].orelse[0])
+    join = cfg.block_of(func.body[1])  # the return statement
+    assert sorted(cfg.successors(header)) == sorted([then_block, else_block])
+    assert cfg.successors(then_block) == [join]
+    assert cfg.successors(else_block) == [join]
+
+
+def test_while_loop_back_edge_break_and_continue():
+    cfg, func = cfg_of(
+        """
+        def f(items):
+            while items:
+                if stop(items):
+                    break
+                if skip(items):
+                    continue
+                work(items)
+            done()
+        """
+    )
+    header = cfg.block_of(first(func, ast.While))
+    after = cfg.block_of(func.body[1])  # done()
+    body_end = cfg.block_of(func.body[0].body[2])  # work(items)
+    assert after in cfg.successors(header)
+    assert header in cfg.successors(body_end)  # back edge
+    break_block = cfg.block_of(first(func, ast.Break))
+    continue_block = cfg.block_of(first(func, ast.Continue))
+    assert cfg.successors(break_block) == [after]
+    assert cfg.successors(continue_block) == [header]
+
+
+def test_nested_loops_bind_break_and_continue_to_innermost():
+    cfg, func = cfg_of(
+        """
+        def f(rows):
+            for row in rows:
+                for cell in row:
+                    if cell:
+                        break
+                else:
+                    continue
+                break
+        """
+    )
+    outer, inner = all_of(func, ast.For)
+    inner_break, outer_break = all_of(func, ast.Break)
+    (the_continue,) = all_of(func, ast.Continue)
+    # The inner break lands in the inner loop's after-block — the block
+    # that holds the outer break — not anywhere in the outer loop.
+    assert cfg.successors(cfg.block_of(inner_break)) == \
+        [cfg.block_of(outer_break)]
+    # The for-else continue targets the *outer* header.
+    assert cfg.successors(cfg.block_of(the_continue)) == \
+        [cfg.block_of(outer)]
+    assert cfg.block_of(inner) != cfg.block_of(outer)
+
+
+def test_with_body_lives_in_successor_of_header_block():
+    cfg, func = cfg_of(
+        """
+        def f(path):
+            with open(path) as fh:
+                fh.read()
+            after()
+        """
+    )
+    header = cfg.block_of(first(func, ast.With))
+    body = cfg.block_of(func.body[0].body[0])  # fh.read()
+    tail = cfg.block_of(func.body[1])  # after()
+    assert cfg.successors(header) == [body]
+    assert tail in cfg.successors(body)
+    # The With node itself is a header: its body stays out of the block.
+    assert func.body[0].body[0] not in cfg.blocks[header].stmts
+
+
+def test_return_through_try_finally_runs_the_finally_copy():
+    cfg, func = cfg_of(
+        """
+        def f(path):
+            fh = open(path)
+            try:
+                return fh.read()
+            finally:
+                fh.close()
+        """
+    )
+    close_stmt = first(func, ast.Try).finalbody[0]
+    ret_block = cfg.block_of(first(func, ast.Return))
+    # Two out-edges: the return path's finally copy and the implicit
+    # uncaught-exception finally copy (finally is inlined per exit
+    # path).  Either way control runs fh.close() before reaching EXIT.
+    succs = cfg.successors(ret_block)
+    assert succs and EXIT not in succs
+    for fin_copy in succs:
+        assert close_stmt in cfg.blocks[fin_copy].stmts
+        assert EXIT in cfg.successors(fin_copy)
+    copies = [b.index for b in cfg.blocks if close_stmt in b.stmts]
+    assert len(copies) >= 2
+
+
+def test_exception_edges_reach_handler_from_pre_try_and_body():
+    cfg, func = cfg_of(
+        """
+        def f():
+            x = fallback()
+            try:
+                x = compute()
+            except ValueError:
+                x = None
+            return x
+        """
+    )
+    pre = cfg.block_of(func.body[0])
+    body = cfg.block_of(func.body[1].body[0])
+    handler = cfg.block_of(first(func, ast.ExceptHandler))
+    preds = cfg.predecessors()
+    # The pre-try edge keeps the handler seeing pre-statement facts: an
+    # exception may fire before the first body statement completes.
+    assert pre in preds[handler]
+    assert body in preds[handler]
+
+
+def test_build_is_deterministic():
+    source = """
+        def f(items):
+            total = 0
+            for item in items:
+                try:
+                    total += cost(item)
+                except KeyError:
+                    continue
+                finally:
+                    audit(item)
+            return total
+        """
+    shape_a = [
+        (b.index, tuple(b.succs), len(b.stmts))
+        for b in cfg_of(source)[0].blocks
+    ]
+    shape_b = [
+        (b.index, tuple(b.succs), len(b.stmts))
+        for b in cfg_of(source)[0].blocks
+    ]
+    assert shape_a == shape_b

@@ -75,7 +75,9 @@ def test_json_format_is_machine_readable(dirty_file, capsys):
     assert document["tool"] == "repro.lint"
     assert document["count"] == len(document["findings"]) >= 3
     first = document["findings"][0]
-    assert set(first) == {"path", "line", "col", "rule", "message"}
+    assert set(first) == {"path", "line", "col", "rule", "message",
+                          "category"}
+    assert first["category"] == first["rule"].rstrip("0123456789")
 
 
 def test_select_runs_only_chosen_rules(dirty_file, capsys):
@@ -98,7 +100,8 @@ def test_list_rules_prints_catalogue(capsys):
     out = capsys.readouterr().out
     for code in ("DET001", "DET002", "DET003", "COR001", "COR002",
                  "COR003", "API001", "API002", "FLOW001", "FLOW002",
-                 "FLOW003", "FLOW004", "FLOW005"):
+                 "FLOW003", "FLOW004", "FLOW005", "DF001", "DF002",
+                 "DF003", "DF004", "DF005"):
         assert code in out
 
 
@@ -168,6 +171,90 @@ def test_no_cache_flag_reports_disabled_cache(tmp_path, capsys):
                  str(tmp_path / "a.py")]) == EXIT_CLEAN
     document = json.loads(capsys.readouterr().out)
     assert document["cache"]["enabled"] is False
+
+
+DF_DIRTY_SNIPPET = (
+    "import random\n"
+    "\n"
+    "\n"
+    "def f():\n"
+    "    x = random.random()\n"
+    "    x = 2\n"
+    "    return x\n"
+)
+
+
+def test_dataflow_rules_run_by_default(tmp_path, capsys):
+    path = tmp_path / "df.py"
+    path.write_text(DF_DIRTY_SNIPPET)
+    assert main(["--no-config", str(path)]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "DF004" in out and "DET001" in out
+
+
+def test_no_dataflow_flag_skips_df_rules(tmp_path, capsys):
+    path = tmp_path / "df.py"
+    path.write_text(DF_DIRTY_SNIPPET)
+    assert main(["--no-config", "--no-dataflow", str(path)]) == \
+        EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "DF004" not in out and "DET001" in out
+
+
+def test_select_df_family_prefix_expands(tmp_path, capsys):
+    path = tmp_path / "df.py"
+    path.write_text(DF_DIRTY_SNIPPET)
+    assert main(["--no-config", "--select", "DF", str(path)]) == \
+        EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "DF004" in out and "DET001" not in out
+
+
+def test_no_dataflow_wins_over_df_select(tmp_path, capsys):
+    path = tmp_path / "df.py"
+    path.write_text(DF_DIRTY_SNIPPET)
+    assert main(["--no-config", "--no-dataflow", "--select", "DF",
+                 str(path)]) == EXIT_CLEAN
+    assert "clean" in capsys.readouterr().out
+
+
+def test_stats_flag_prints_phase_timings(dirty_file, capsys):
+    assert main(["--no-config", "--stats", str(dirty_file)]) == \
+        EXIT_FINDINGS
+    err = capsys.readouterr().err
+    assert "phase per-file" in err
+    assert "dataflow" in err
+    assert "cache:" in err
+
+
+def test_stats_reports_cache_hits_on_warm_rerun(tmp_path, capsys):
+    path = tmp_path / "a.py"
+    path.write_text("A = 1\n")
+    cache = tmp_path / "cache.json"
+    argv = ["--no-config", "--stats", "--cache", str(cache), str(path)]
+    assert main(argv) == EXIT_CLEAN
+    assert "1 misses" in capsys.readouterr().err
+    assert main(argv) == EXIT_CLEAN
+    assert "1 hits" in capsys.readouterr().err
+
+
+def test_json_findings_are_sorted_and_round_trip(tmp_path, capsys):
+    from repro.lint import Finding
+
+    path = tmp_path / "multi.py"
+    path.write_text(DIRTY_SNIPPET + "\n\n" + DF_DIRTY_SNIPPET.replace(
+        "import random\n", "").replace("def f(", "def g("))
+    assert main(["--no-config", "--format", "json", str(path)]) == \
+        EXIT_FINDINGS
+    findings = json.loads(capsys.readouterr().out)["findings"]
+    keys = [(f["path"], f["line"], f["col"], f["rule"], f["message"])
+            for f in findings]
+    assert keys == sorted(keys)
+    assert len({f["category"] for f in findings}) > 1
+    # Round trip: dropping the derived category restores the Finding.
+    for serialized in findings:
+        fields = {k: v for k, v in serialized.items() if k != "category"}
+        assert Finding(**fields).to_dict() == fields
 
 
 def test_directory_walk_respects_exclude(tmp_path, capsys):

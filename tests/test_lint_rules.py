@@ -232,7 +232,9 @@ def test_api001_hardwired_rng_flagged():
             return urls
         """
     )
-    assert codes(findings) == ["API001"]
+    # The hard-wired stream now trips two layers: API001 at the def
+    # (no seed/rng parameter) and DF001 at the draw (taint analysis).
+    assert codes(findings) == ["API001", "DF001"]
 
 
 def test_api001_seed_parameter_ok():
@@ -261,13 +263,15 @@ def test_api001_stored_state_ok():
 
 
 def test_api001_private_and_other_layers_exempt():
+    # API001 stays quiet for private helpers and non-seeded layers;
+    # only the layer-independent DF001 taint finding remains.
     source = (
         "import random\n\n\ndef _helper(urls):\n"
         "    return random.Random(42).choice(urls)\n"
     )
-    assert lint(source) == []
-    assert lint(source.replace("_helper", "helper"),
-                path="src/repro/analysis/example.py") == []
+    assert codes(lint(source)) == ["DF001"]
+    assert codes(lint(source.replace("_helper", "helper"),
+                      path="src/repro/analysis/example.py")) == ["DF001"]
 
 
 # -- API002: layering ----------------------------------------------------
