@@ -13,6 +13,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.bench import bench_results_dir
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ResultCache
 
@@ -23,9 +24,6 @@ from repro.experiments.runner import ResultCache
 #: numbers are then not comparable across scales — only across runs at
 #: the same scale).
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
-
-_RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
-
 
 @pytest.fixture(scope="session")
 def bench_cache() -> ResultCache:
@@ -39,8 +37,10 @@ def bench_config() -> ExperimentConfig:
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
-    _RESULTS_DIR.mkdir(exist_ok=True)
-    return _RESULTS_DIR
+    # One shared results location (repro.bench anchors it on the repo
+    # root, not the CWD) — the CLI and the benchmark suite write to the
+    # same bench_results/ directory however they are invoked.
+    return bench_results_dir()
 
 
 def save_rendered(results_dir: Path, name: str, text: str) -> None:

@@ -5,6 +5,10 @@ Usage::
     python -m repro table2 --scale 0.3 --runs 1
     python -m repro figure5
     python -m repro all --scale 0.2
+    python -m repro bench --seed 7 --report
+
+``bench`` delegates to :mod:`repro.bench` (its own argument set — see
+``python -m repro bench --help`` and docs/performance.md).
 """
 
 from __future__ import annotations
@@ -91,6 +95,14 @@ def _compare(config: ExperimentConfig, cache: ResultCache):
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # The benchmark CLI has its own argument set; hand over before
+        # argparse sees (and rejects) it.
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate a table or figure of the paper.",

@@ -1,0 +1,48 @@
+"""Crawl hot-path benchmarking (``python -m repro bench``).
+
+Profiles the code the crawler spends its time in — tag-path n-gram
+hashing, HNSW insert/search, HTML parse + link extraction, frontier
+push/pop/sample — plus an end-to-end pages/sec crawl on a seeded paper
+site, and records the numbers as a schema-versioned ``BENCH_<n>.json``
+under ``bench_results/``.  A committed baseline plus a regression gate
+turns the sequence of files into a performance trajectory CI can watch.
+
+Methodology, the JSON schema reference and how to read the trajectory:
+docs/performance.md.
+"""
+
+from __future__ import annotations
+
+from repro.bench.gate import DEFAULT_TOLERANCE, GateResult, check_regression
+from repro.bench.harness import percentile, speedup, time_workload
+from repro.bench.results import (
+    SCHEMA_FIELDS,
+    SCHEMA_VERSION,
+    bench_results_dir,
+    build_document,
+    environment_fingerprint,
+    load_document,
+    save_document,
+    strip_timings,
+)
+from repro.bench.sections import SECTION_NAMES, SECTIONS, SectionResult
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "GateResult",
+    "SCHEMA_FIELDS",
+    "SCHEMA_VERSION",
+    "SECTIONS",
+    "SECTION_NAMES",
+    "SectionResult",
+    "bench_results_dir",
+    "build_document",
+    "check_regression",
+    "environment_fingerprint",
+    "load_document",
+    "percentile",
+    "save_document",
+    "speedup",
+    "strip_timings",
+    "time_workload",
+]

@@ -1,0 +1,146 @@
+"""``python -m repro bench`` — profile the crawl hot paths.
+
+Usage::
+
+    python -m repro bench --seed 7 --out BENCH_7.json
+    python -m repro bench --report                    # human table
+    python -m repro bench --sections tagpath,frontier --repeats 5
+    python -m repro bench --gate-against bench_results/BENCH_7.json
+
+Scale defaults to the ``REPRO_BENCH_SCALE`` environment variable (CI
+smoke runs set 0.2) and otherwise to 1.0.  The regression gate is only
+enforced at full scale — at reduced scale a ``--gate-against`` request
+reports the comparison but exits 0, because cross-scale pages/sec are
+not comparable (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.bench.gate import DEFAULT_TOLERANCE, check_regression
+from repro.bench.results import (
+    bench_results_dir,
+    build_document,
+    load_document,
+    save_document,
+)
+from repro.bench.sections import SECTION_NAMES, SECTIONS
+
+
+def render_report(document: dict) -> str:
+    """Human-readable table of one bench document."""
+    lines = [
+        "repro bench  (schema v%s, seed %s, scale %s, repeats %s)"
+        % (
+            document["schema_version"], document["seed"],
+            document["scale"], document["repeats"],
+        ),
+        "",
+        "%-10s %12s %12s %14s %10s" % (
+            "section", "p50 ms", "p95 ms", "ops/sec", "vs ref",
+        ),
+    ]
+    for section in document["sections"]:
+        timing = section["timing"]
+        speedup = section["speedup_vs_reference"]
+        lines.append(
+            "%-10s %12.2f %12.2f %14.1f %10s" % (
+                section["name"],
+                timing["p50_ms"],
+                timing["p95_ms"],
+                timing["ops_per_sec"],
+                f"{speedup:.2f}x" if speedup is not None else "-",
+            )
+        )
+    pages_per_sec = document.get("e2e_pages_per_sec")
+    if pages_per_sec is not None:
+        lines += ["", "end-to-end crawl: %.1f pages/sec" % pages_per_sec]
+    environment = document["environment"]
+    lines.append(
+        "environment: %s %s / numpy %s / %s cpus" % (
+            environment["implementation"], environment["python"],
+            environment["numpy"], environment["cpu_count"],
+        )
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Benchmark the crawl hot paths and record a "
+                    "schema-versioned BENCH_<n>.json.",
+    )
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload seed (default 7)")
+    parser.add_argument(
+        "--scale", type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+        help="workload scale factor (default: $REPRO_BENCH_SCALE or 1.0)",
+    )
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repeats per section (default 3)")
+    parser.add_argument(
+        "--sections", default=",".join(SECTION_NAMES), metavar="NAMES",
+        help="comma-separated subset of: %s" % ", ".join(SECTION_NAMES),
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="output path (default bench_results/BENCH_<seed>.json)",
+    )
+    parser.add_argument("--report", action="store_true",
+                        help="print the human-readable table")
+    parser.add_argument(
+        "--gate-against", type=Path, default=None, metavar="BASELINE",
+        help="fail (exit 1) if e2e pages/sec regressed vs this document",
+    )
+    parser.add_argument(
+        "--gate-tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="fractional drop tolerated by the gate (default %.2f)"
+             % DEFAULT_TOLERANCE,
+    )
+    args = parser.parse_args(argv)
+
+    requested = [name.strip() for name in args.sections.split(",") if name.strip()]
+    unknown = [name for name in requested if name not in SECTIONS]
+    if unknown:
+        parser.error("unknown sections: %s" % ", ".join(unknown))
+    # Run in registry order regardless of how --sections was spelled.
+    selected = [name for name in SECTION_NAMES if name in requested]
+
+    sections = []
+    for name in selected:
+        print(f"[bench] {name} ...", file=sys.stderr)
+        sections.append(SECTIONS[name](args.seed, args.scale, args.repeats))
+    document = build_document(args.seed, args.scale, args.repeats, sections)
+
+    out = args.out
+    if out is None:
+        out = bench_results_dir() / f"BENCH_{args.seed}.json"
+    save_document(document, out)
+    print(f"[bench] wrote {out}", file=sys.stderr)
+
+    if args.report:
+        print(render_report(document))
+
+    if args.gate_against is not None:
+        baseline = load_document(args.gate_against)
+        result = check_regression(document, baseline, args.gate_tolerance)
+        if args.scale != 1.0:  # repro: noqa[COR002] exact CLI sentinel, not arithmetic
+            print(
+                "[bench] gate not enforced at scale %s (informational): %s"
+                % (args.scale, result.message)
+            )
+        else:
+            print(f"[bench] {result.message}")
+            if not result.passed:
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

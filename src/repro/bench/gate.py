@@ -1,0 +1,98 @@
+"""Regression gate: compare a fresh bench run against a committed baseline.
+
+The gate watches one number — end-to-end pages/sec — because that is
+the quantity the paper's scalability claims rest on and the one every
+hot path feeds into.  Section-level timings are *reported* but not
+gated: micro-section noise on shared CI runners would make a per-section
+gate cry wolf.
+
+The gate only means something when both documents were measured at the
+same workload scale; :func:`check_regression` refuses cross-scale
+comparisons rather than silently producing nonsense.  CI enforces it
+only on full-scale runs (``REPRO_BENCH_SCALE`` unset or ``1.0``) — see
+docs/performance.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fractional e2e pages/sec drop tolerated before the gate fails.
+DEFAULT_TOLERANCE = 0.20
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of one baseline comparison."""
+
+    passed: bool
+    message: str
+    current_pages_per_sec: float | None = None
+    baseline_pages_per_sec: float | None = None
+
+    @property
+    def ratio(self) -> float | None:
+        if not self.current_pages_per_sec or not self.baseline_pages_per_sec:
+            return None
+        return self.current_pages_per_sec / self.baseline_pages_per_sec
+
+
+def check_regression(
+    current: dict[str, object],
+    baseline: dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> GateResult:
+    """Fail if ``current`` e2e pages/sec dropped more than ``tolerance``
+    (fraction) below ``baseline``.  Improvements always pass."""
+    if current.get("schema_version") != baseline.get("schema_version"):
+        return GateResult(
+            passed=False,
+            message=(
+                "schema mismatch: current v%s vs baseline v%s — regenerate "
+                "the baseline" % (
+                    current.get("schema_version"),
+                    baseline.get("schema_version"),
+                )
+            ),
+        )
+    if current.get("scale") != baseline.get("scale"):
+        return GateResult(
+            passed=False,
+            message=(
+                "scale mismatch: current %s vs baseline %s — pages/sec at "
+                "different scales are not comparable" % (
+                    current.get("scale"), baseline.get("scale"),
+                )
+            ),
+        )
+    current_pps = current.get("e2e_pages_per_sec")
+    baseline_pps = baseline.get("e2e_pages_per_sec")
+    if not isinstance(current_pps, (int, float)) or not isinstance(
+        baseline_pps, (int, float)
+    ):
+        return GateResult(
+            passed=False,
+            message="e2e_pages_per_sec missing — run the e2e section",
+        )
+    floor = baseline_pps * (1.0 - tolerance)
+    if current_pps < floor:
+        return GateResult(
+            passed=False,
+            message=(
+                "REGRESSION: e2e %.1f pages/sec is below the gate floor "
+                "%.1f (baseline %.1f, tolerance %d%%)" % (
+                    current_pps, floor, baseline_pps, tolerance * 100,
+                )
+            ),
+            current_pages_per_sec=float(current_pps),
+            baseline_pages_per_sec=float(baseline_pps),
+        )
+    return GateResult(
+        passed=True,
+        message=(
+            "gate passed: e2e %.1f pages/sec vs baseline %.1f "
+            "(floor %.1f)" % (current_pps, baseline_pps, floor)
+        ),
+        current_pages_per_sec=float(current_pps),
+        baseline_pages_per_sec=float(baseline_pps),
+    )

@@ -1,0 +1,69 @@
+"""Timing machinery for the crawl-hot-path benchmarks.
+
+One *section* measures one hot path.  A section provides a state
+*factory* (fresh state per repeat, so repeats are independent and the
+workload is identical every time) and a *runner* that executes the whole
+workload against that state.  The harness times ``repeats`` executions
+with ``time.perf_counter`` and reduces them to the timing fields of the
+``BENCH_<n>.json`` schema (docs/performance.md):
+
+* ``p50_ms`` / ``p95_ms`` — percentiles of the per-repeat wall time;
+* ``ops_per_sec`` — workload operations divided by the *median* repeat
+  (the median is robust against one-off scheduler noise);
+* ``seconds`` — total measured time across all repeats.
+
+Timings are the only non-deterministic values in a benchmark result;
+everything else (operation counts, byte counts, vocabulary sizes) is a
+pure function of ``(seed, scale)`` — the determinism gate in
+``tests/test_bench.py`` holds the schema to that.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted, non-empty list."""
+    if not sorted_values:
+        raise ValueError("percentile of empty list")
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def time_workload(
+    make_state: Callable[[], object],
+    run: Callable[[object], object],
+    ops: int,
+    repeats: int = 3,
+) -> dict[str, float]:
+    """Time ``repeats`` executions of ``run(make_state())``.
+
+    State construction is *not* timed — each repeat measures the
+    workload only.  Returns the timing dict of the bench schema.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    samples: list[float] = []
+    for _ in range(repeats):
+        state = make_state()
+        started = time.perf_counter()
+        run(state)
+        samples.append(time.perf_counter() - started)
+    samples.sort()
+    median = percentile(samples, 0.50)
+    return {
+        "p50_ms": median * 1000.0,
+        "p95_ms": percentile(samples, 0.95) * 1000.0,
+        "ops_per_sec": ops / median if median > 0 else float("inf"),
+        "seconds": sum(samples),
+    }
+
+
+def speedup(reference: dict[str, float], optimized: dict[str, float]) -> float:
+    """How many times faster ``optimized`` is than ``reference`` (p50)."""
+    if optimized["p50_ms"] <= 0:
+        return float("inf")
+    return reference["p50_ms"] / optimized["p50_ms"]

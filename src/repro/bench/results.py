@@ -1,0 +1,152 @@
+"""The ``BENCH_<n>.json`` document: schema, environment, output paths.
+
+A benchmark result is a single JSON document.  Its schema is versioned
+(``schema_version``) so trajectory tooling can detect incompatible
+files; the field reference lives in docs/performance.md and is gated by
+``tests/test_docs.py`` against :data:`SCHEMA_FIELDS`.
+
+Everything in the document except the timing values is deterministic in
+``(seed, scale, repeats)`` — :func:`strip_timings` removes exactly the
+non-deterministic part, which is what the determinism gate in
+``tests/test_bench.py`` compares across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.bench.sections import SectionResult
+
+#: Bump when a field is added, removed or changes meaning.
+SCHEMA_VERSION = 1
+
+#: Every field name appearing in a BENCH_<n>.json document, top-level
+#: and nested.  docs/performance.md must mention each one (doc gate).
+SCHEMA_FIELDS: tuple[str, ...] = (
+    "schema_version",
+    "seed",
+    "scale",
+    "repeats",
+    "environment",
+    "sections",
+    "e2e_pages_per_sec",
+    "optimizations",
+    # environment fingerprint
+    "python",
+    "implementation",
+    "platform",
+    "machine",
+    "cpu_count",
+    "numpy",
+    "repro_version",
+    # per-section
+    "name",
+    "unit",
+    "workload",
+    "timing",
+    "variants",
+    "speedup_vs_reference",
+    # timing block
+    "p50_ms",
+    "p95_ms",
+    "ops_per_sec",
+    "seconds",
+)
+
+#: Keys whose values are wall-clock measurements (machine-dependent).
+_TIMING_KEYS = frozenset(
+    {"timing", "variants", "speedup_vs_reference", "e2e_pages_per_sec"}
+)
+
+
+def environment_fingerprint() -> dict[str, object]:
+    """Where the numbers were taken — compare trajectories per-machine."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "repro_version": repro.__version__,
+    }
+
+
+def bench_results_dir() -> Path:
+    """The repo-level ``bench_results/`` directory, created on demand.
+
+    Anchored on this file's location, not the CWD, so benchmarks and the
+    CLI write to the same place no matter where they are invoked from.
+    """
+    directory = Path(__file__).resolve().parents[3] / "bench_results"
+    directory.mkdir(exist_ok=True)
+    return directory
+
+
+def build_document(
+    seed: int,
+    scale: float,
+    repeats: int,
+    sections: list[SectionResult],
+) -> dict[str, object]:
+    """Assemble the full BENCH_<n>.json document."""
+    by_name = {section.name: section for section in sections}
+    e2e = by_name.get("e2e")
+    optimizations = {
+        section.name: section.speedup_vs_reference
+        for section in sections
+        if section.speedup_vs_reference is not None
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "seed": seed,
+        "scale": scale,
+        "repeats": repeats,
+        "environment": environment_fingerprint(),
+        "sections": [section.to_dict() for section in sections],
+        "e2e_pages_per_sec": (
+            round(e2e.timing["ops_per_sec"], 2) if e2e is not None else None
+        ),
+        "optimizations": optimizations,
+    }
+
+
+def strip_timings(document: dict[str, object]) -> dict[str, object]:
+    """The deterministic projection of a bench document.
+
+    Drops every machine-dependent value (timings, speedups, derived
+    throughput) and the environment fingerprint; two runs with the same
+    ``(seed, scale, repeats)`` must agree exactly on what remains.
+    """
+    stripped: dict[str, object] = {}
+    for key, value in document.items():
+        if key in _TIMING_KEYS or key == "environment":
+            continue
+        if key == "sections":
+            stripped[key] = [
+                {k: v for k, v in section.items() if k not in _TIMING_KEYS}
+                for section in value  # type: ignore[union-attr]
+            ]
+        elif key == "optimizations":
+            # Speedup *values* are timings; which sections carry one is
+            # deterministic.
+            stripped[key] = sorted(value)  # type: ignore[arg-type]
+        else:
+            stripped[key] = value
+    return stripped
+
+
+def save_document(document: dict[str, object], path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def load_document(path: Path) -> dict[str, object]:
+    return json.loads(path.read_text())

@@ -1,0 +1,366 @@
+"""The benchmark sections: one per crawl hot path.
+
+Every section builds a *deterministic* workload from ``(seed, scale)``
+(all randomness through :func:`repro.utils.rng.derive_rng`), measures it
+with :func:`repro.bench.harness.time_workload`, and returns a
+:class:`SectionResult` whose ``workload`` fields — counts, bytes, sizes
+— are pure functions of the inputs.  ``scale`` multiplies workload
+sizes; numbers taken at different scales are **not** comparable.
+
+Where this PR optimized a hot path, the section also times a
+*reference* variant — a faithful copy of the pre-optimization code —
+so every ``BENCH_<n>.json`` carries its own before/after delta
+(``speedup_vs_reference``) instead of pointing at an older file that
+was measured on different hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.harness import speedup, time_workload
+from repro.core.frontier import Frontier
+from repro.core.hnsw import HnswIndex
+from repro.core.tagpath import TagPathVectorizer
+from repro.html.parse import parse_page
+from repro.html.render import render_page
+from repro.utils.rng import derive_rng, derive_seed
+
+#: Registry order is report order; docs/performance.md documents each
+#: (gated by tests/test_docs.py).
+SECTION_NAMES: tuple[str, ...] = ("tagpath", "hnsw", "parse", "frontier", "e2e")
+
+#: Site profile the parse and e2e sections crawl.
+DEFAULT_SITE = "ju"
+
+
+@dataclass(frozen=True)
+class SectionResult:
+    """One section's measurement, ready for the JSON schema."""
+
+    name: str
+    unit: str
+    workload: dict[str, object]
+    timing: dict[str, float]
+    variants: dict[str, dict[str, float]] = field(default_factory=dict)
+    speedup_vs_reference: float | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "workload": dict(self.workload),
+            "timing": dict(self.timing),
+            "variants": {k: dict(v) for k, v in self.variants.items()},
+            "speedup_vs_reference": self.speedup_vs_reference,
+        }
+
+
+# -- tagpath ---------------------------------------------------------------
+
+
+class _ReferenceTagPathVectorizer(TagPathVectorizer):
+    """The pre-PR-7 projection: per-path Python loop, no featurization
+    memo.  Kept verbatim as the tagpath section's before/after baseline
+    (it still produces bit-identical vectors to the optimized path)."""
+
+    def project(self, tag_path: str) -> np.ndarray:
+        counts: dict[int, float] = {}
+        for ngram in self._ngrams(tag_path):
+            position = self._position(ngram)
+            counts[position] = counts.get(position, 0.0) + 1.0
+        projected = np.zeros(self.dim, dtype=np.float64)
+        for position, count in counts.items():
+            projected[self._position_bucket[position]] += count
+        occupied = self._bucket_sizes > 0
+        projected[occupied] /= self._bucket_sizes[occupied]
+        return projected
+
+
+def _tagpath_workload(seed: int, scale: float) -> list[str]:
+    """A crawl-shaped tag-path stream: a bounded set of layout templates
+    sampled with repetition, plus a tail of unique-id noise paths (the
+    'ed' site's idiosyncrasy) that keeps the vocabulary growing."""
+    rng = derive_rng(seed, "bench", "tagpath")
+    tags = ("div", "ul", "li", "span", "section", "article", "td", "tr")
+    classes = ("content", "nav", "datasets", "items", "links", "footer")
+    templates = []
+    for index in range(60):
+        depth = 3 + rng.randrange(5)
+        segments = ["html", "body"]
+        for _ in range(depth):
+            tag = tags[rng.randrange(len(tags))]
+            if rng.random() < 0.5:
+                tag += "." + classes[rng.randrange(len(classes))]
+            segments.append(tag)
+        segments.append("a")
+        templates.append(" ".join(segments))
+    paths = []
+    for index in range(max(1, int(20_000 * scale))):
+        if rng.random() < 0.05:
+            paths.append(templates[rng.randrange(len(templates))]
+                         + f"#uid{index}")
+        else:
+            paths.append(templates[rng.randrange(len(templates))])
+    return paths
+
+
+def bench_tagpath(seed: int, scale: float, repeats: int) -> SectionResult:
+    paths = _tagpath_workload(seed, scale)
+
+    def run(vectorizer: TagPathVectorizer) -> None:
+        project = vectorizer.project
+        for path in paths:
+            project(path)
+
+    timing = time_workload(TagPathVectorizer, run, ops=len(paths),
+                           repeats=repeats)
+    reference = time_workload(_ReferenceTagPathVectorizer, run,
+                              ops=len(paths), repeats=repeats)
+    batched = time_workload(
+        TagPathVectorizer,
+        lambda vectorizer: vectorizer.project_many(paths),
+        ops=len(paths),
+        repeats=repeats,
+    )
+    probe = TagPathVectorizer()
+    run(probe)
+    return SectionResult(
+        name="tagpath",
+        unit="paths/sec",
+        workload={
+            "n_paths": len(paths),
+            "n_distinct_paths": len(set(paths)),
+            "vocabulary_size": probe.vocabulary_size,
+            "dim": probe.dim,
+        },
+        timing=timing,
+        variants={"reference": reference, "batched": batched},
+        speedup_vs_reference=round(speedup(reference, timing), 3),
+    )
+
+
+# -- hnsw ------------------------------------------------------------------
+
+
+def bench_hnsw(seed: int, scale: float, repeats: int) -> SectionResult:
+    dim = 256
+    n_inserts = max(8, int(1_500 * scale))
+    n_searches = max(8, int(3_000 * scale))
+    rng = np.random.default_rng(derive_seed(seed, "bench", "hnsw"))
+    inserts = rng.random((n_inserts, dim))
+    queries = rng.random((n_searches, dim))
+
+    def make_state() -> HnswIndex:
+        return HnswIndex(dim, seed=seed)
+
+    def run(index: HnswIndex) -> None:
+        for key in range(n_inserts):
+            index.insert(key, inserts[key])
+        search = index.search
+        for query in queries:
+            search(query, k=1)
+
+    timing = time_workload(make_state, run, ops=n_inserts + n_searches,
+                           repeats=repeats)
+    probe = make_state()
+    run(probe)
+    hit_checksum = sum(
+        probe.search(queries[i], k=1)[0][0] for i in range(0, n_searches, 97)
+    )
+    return SectionResult(
+        name="hnsw",
+        unit="index ops/sec",
+        workload={
+            "n_inserts": n_inserts,
+            "n_searches": n_searches,
+            "dim": dim,
+            "M": probe.M,
+            "hit_checksum": int(hit_checksum),
+        },
+        timing=timing,
+    )
+
+
+# -- parse -----------------------------------------------------------------
+
+
+def bench_parse(seed: int, scale: float, repeats: int,
+                site: str = DEFAULT_SITE) -> SectionResult:
+    from repro.webgraph.sites import load_paper_site
+
+    graph = load_paper_site(site, scale=max(0.05, min(1.0, 0.4 * scale)))
+    pages = graph.html_pages()
+    rng = derive_rng(seed, "bench", "parse")
+    selected = [pages[rng.randrange(len(pages))]
+                for _ in range(max(1, int(400 * scale)))]
+    documents = [render_page(page) for page in selected]
+    total_bytes = sum(len(doc.encode("utf-8")) for doc in documents)
+
+    def run(_state: object) -> None:
+        for document in documents:
+            parse_page(document)
+
+    timing = time_workload(lambda: None, run, ops=len(documents),
+                           repeats=repeats)
+    n_links = sum(len(parse_page(doc).links) for doc in documents)
+    return SectionResult(
+        name="parse",
+        unit="pages/sec",
+        workload={
+            "site": site,
+            "n_pages": len(documents),
+            "total_bytes": total_bytes,
+            "n_links": n_links,
+        },
+        timing=timing,
+    )
+
+
+# -- frontier --------------------------------------------------------------
+
+
+class _ReferenceFrontier(Frontier):
+    """The pre-PR-7 global draw and awake count: rebuilds the weighted
+    action list on every ``pop_random`` (O(#actions)) instead of using
+    the Fenwick tree.  Consumes the same RNG stream, so both variants
+    execute the identical operation sequence."""
+
+    def pop_random(self) -> str:
+        if len(self) == 0:
+            raise KeyError("frontier is empty")
+        pools = [(a, p) for a, p in self._pools.items() if len(p) > 0]
+        weights = [len(p) for _, p in pools]
+        action_id = self._rng.choices(
+            [a for a, _ in pools], weights=weights, k=1
+        )[0]
+        return self.pop_from_action(action_id)
+
+    def n_awake(self) -> int:
+        return sum(1 for p in self._pools.values() if len(p) > 0)
+
+
+def _frontier_ops(seed: int, scale: float) -> list[tuple]:
+    """A deterministic op script: URL adds spread over many actions,
+    interleaved global draws (the measured O(log n) path) and discards."""
+    rng = derive_rng(seed, "bench", "frontier")
+    n_actions = max(4, int(400 * scale))
+    ops: list[tuple] = []
+    serial = 0
+    for _ in range(max(16, int(30_000 * scale))):
+        roll = rng.random()
+        if roll < 0.55:
+            ops.append(("add", f"https://bench.example/p{serial}",
+                        rng.randrange(n_actions)))
+            serial += 1
+        elif roll < 0.85:
+            ops.append(("pop_random",))
+        elif roll < 0.95:
+            ops.append(("pop_action", rng.randrange(n_actions)))
+        else:
+            ops.append(("discard", f"https://bench.example/p{rng.randrange(max(serial, 1))}"))
+    return ops
+
+
+def _run_frontier(frontier: Frontier, ops: list[tuple]) -> tuple[int, int]:
+    popped = 0
+    for op in ops:
+        kind = op[0]
+        try:
+            if kind == "add":
+                frontier.add(op[1], op[2])
+            elif kind == "pop_random":
+                frontier.pop_random()
+                popped += 1
+            elif kind == "pop_action":
+                frontier.pop_from_action(op[1])
+                popped += 1
+            else:
+                frontier.discard(op[1])
+        except KeyError:
+            continue  # empty pool/frontier: part of the workload shape
+    return popped, len(frontier)
+
+
+def bench_frontier(seed: int, scale: float, repeats: int) -> SectionResult:
+    ops = _frontier_ops(seed, scale)
+
+    timing = time_workload(
+        lambda: Frontier(seed=seed), lambda f: _run_frontier(f, ops),
+        ops=len(ops), repeats=repeats,
+    )
+    reference = time_workload(
+        lambda: _ReferenceFrontier(seed=seed), lambda f: _run_frontier(f, ops),
+        ops=len(ops), repeats=repeats,
+    )
+    popped, remaining = _run_frontier(Frontier(seed=seed), ops)
+    return SectionResult(
+        name="frontier",
+        unit="frontier ops/sec",
+        workload={
+            "n_ops": len(ops),
+            "n_popped": popped,
+            "final_size": remaining,
+        },
+        timing=timing,
+        variants={"reference": reference},
+        speedup_vs_reference=round(speedup(reference, timing), 3),
+    )
+
+
+# -- e2e -------------------------------------------------------------------
+
+
+def bench_e2e(seed: int, scale: float, repeats: int,
+              site: str = DEFAULT_SITE) -> SectionResult:
+    from repro.core.crawler import SBConfig, sb_classifier
+    from repro.http.environment import CrawlEnvironment
+    from repro.webgraph.sites import load_paper_site
+
+    site_scale = max(0.05, min(1.0, 0.4 * scale))
+    budget = max(50, int(1_000 * scale))
+    results: list[object] = []
+
+    def make_state() -> CrawlEnvironment:
+        return CrawlEnvironment(load_paper_site(site, scale=site_scale))
+
+    def run(env: CrawlEnvironment) -> None:
+        crawler = sb_classifier(SBConfig(seed=seed))
+        results.append(crawler.crawl(env, budget=budget))
+
+    timing = time_workload(make_state, run, ops=budget, repeats=repeats)
+    final = results[-1]
+    # pages/sec over the *actual* request count (== budget unless the
+    # site is exhausted first).
+    timing["ops_per_sec"] = final.n_requests / (timing["p50_ms"] / 1000.0)
+    return SectionResult(
+        name="e2e",
+        unit="pages/sec",
+        workload={
+            "site": site,
+            "site_scale": site_scale,
+            "budget": budget,
+            "crawler": final.crawler,
+            "n_requests": final.n_requests,
+            "n_targets": final.n_targets,
+        },
+        timing=timing,
+    )
+
+
+#: name -> section runner; all take (seed, scale, repeats).
+SECTIONS = {
+    "tagpath": bench_tagpath,
+    "hnsw": bench_hnsw,
+    "parse": bench_parse,
+    "frontier": bench_frontier,
+    "e2e": bench_e2e,
+}
+
+__all__ = [
+    "SECTION_NAMES",
+    "SECTIONS",
+    "SectionResult",
+]

@@ -5,6 +5,14 @@ crawler needs three operations, all O(1): add a URL under its action,
 draw a uniformly random URL from a given action (Sec. 3.2: "our crawler
 randomly chooses an unvisited link l ∈ a with equal probability"), and
 know which actions are *awake* (still have unvisited links).
+
+The global draw (``pop_random``) is weighted by pool size.  It used to
+rebuild the (action, weight) lists on every call — O(#actions) per draw
+— and now runs in O(log #actions) over a Fenwick tree of pool sizes
+kept in pool-creation order.  The tree search consumes exactly one
+``rng.random()`` like ``random.Random.choices`` did and resolves the
+same prefix-sum inversion, so the sampled sequence is bit-for-bit
+unchanged (asserted by ``tests/test_core_frontier.py``).
 """
 
 from __future__ import annotations
@@ -53,6 +61,71 @@ class _RandomPool:
         del self._positions[item]
 
 
+class _SizeFenwick:
+    """Append-only Fenwick (binary indexed) tree over integer weights.
+
+    Supports point updates and inverse-prefix-sum search in O(log n);
+    appending a slot costs O(log n) amortised.  Used to sample a slot
+    with probability proportional to its weight without materialising
+    the cumulative-weight list on every draw.
+    """
+
+    def __init__(self) -> None:
+        self._tree: list[int] = [0]  # 1-based; _tree[0] unused
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _prefix(self, index: int) -> int:
+        """Sum of weights over slots [0, index) (``index`` 0-based, exclusive)."""
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & -index
+        return total
+
+    def append(self) -> int:
+        """Add a new zero-weight slot; returns its 0-based index."""
+        self._size += 1
+        index = self._size
+        # A fresh slot has weight 0, so its tree node is the sum of the
+        # slots its node covers: prefix(index-1) - prefix(index - lowbit).
+        self._tree.append(
+            self._prefix(index - 1) - self._prefix(index - (index & -index))
+        )
+        return self._size - 1
+
+    def add(self, slot: int, delta: int) -> None:
+        """Add ``delta`` to the weight of 0-based ``slot``."""
+        index = slot + 1
+        while index <= self._size:
+            self._tree[index] += delta
+            index += index & -index
+
+    def find(self, u: float) -> int:
+        """Smallest 0-based slot whose cumulative weight exceeds ``u``.
+
+        Equivalent to ``bisect_right(cum_weights, u)`` over the dense
+        cumulative-weight list: integer node sums compare exactly
+        against the float ``u``, and zero-weight slots (which leave the
+        cumulative sum flat) are never selected.  Returns ``size`` when
+        ``u`` is at or beyond the total.
+        """
+        position = 0
+        remaining = u
+        step = 1
+        while (step << 1) <= self._size:
+            step <<= 1
+        while step > 0:
+            candidate = position + step
+            if candidate <= self._size and self._tree[candidate] <= remaining:
+                remaining -= self._tree[candidate]
+                position = candidate
+            step >>= 1
+        return position  # 0-based: slots [0, position) have cum <= u
+
+
 class Frontier:
     """Unvisited URLs grouped by the action of the link that found them."""
 
@@ -61,6 +134,12 @@ class Frontier:
         self._pools: dict[int, _RandomPool] = {}
         self._url_action: dict[str, int] = {}
         self._total = 0
+        #: slot of each action in the Fenwick tree (pool-creation order).
+        self._slot_of: dict[int, int] = {}
+        #: inverse mapping: slot index -> action id.
+        self._slot_action: list[int] = []
+        self._sizes = _SizeFenwick()
+        self._n_awake = 0
 
     def __len__(self) -> int:
         return self._total
@@ -76,7 +155,12 @@ class Frontier:
         if pool is None:
             pool = _RandomPool()
             self._pools[action_id] = pool
+            self._slot_of[action_id] = self._sizes.append()
+            self._slot_action.append(action_id)
+        if len(pool) == 0:
+            self._n_awake += 1
         pool.add(url)
+        self._sizes.add(self._slot_of[action_id], 1)
         self._url_action[url] = action_id
         self._total += 1
 
@@ -86,29 +170,48 @@ class Frontier:
         if pool is None or len(pool) == 0:
             raise KeyError(f"action {action_id} is asleep (no unvisited links)")
         url = pool.pop_random(self._rng)
+        self._account_removal(action_id, pool)
         del self._url_action[url]
-        self._total -= 1
         return url
 
     def pop_random(self) -> str:
         """Draw uniformly over *all* frontier URLs (used before any action
-        exists, and by the RANDOM baseline)."""
+        exists, and by the RANDOM baseline).
+
+        Pool sizes weight the draw so the global distribution is uniform
+        over URLs; the Fenwick search replays ``random.choices``'s
+        prefix-sum inversion in O(log #actions).
+        """
         if self._total == 0:
             raise KeyError("frontier is empty")
-        # Weight actions by pool size for global uniformity.
-        pools = [(a, p) for a, p in self._pools.items() if len(p) > 0]
-        weights = [len(p) for _, p in pools]
-        action_id = self._rng.choices([a for a, _ in pools], weights=weights, k=1)[0]
-        return self.pop_from_action(action_id)
+        u = self._rng.random() * float(self._total)
+        slot = self._sizes.find(u)
+        if slot >= len(self._slot_action) or len(
+            self._pools[self._slot_action[slot]]
+        ) == 0:
+            # Float round-up at the very top of the range (u == total):
+            # clamp to the last awake pool, as bisect's hi bound did.
+            slot = max(
+                s for s, a in enumerate(self._slot_action)
+                if len(self._pools[a]) > 0
+            )
+        return self.pop_from_action(self._slot_action[slot])
 
     def discard(self, url: str) -> bool:
         """Remove a URL discovered to be already visited (e.g. redirects)."""
         action_id = self._url_action.pop(url, None)
         if action_id is None:
             return False
-        self._pools[action_id].remove(url)
-        self._total -= 1
+        pool = self._pools[action_id]
+        pool.remove(url)
+        self._account_removal(action_id, pool)
         return True
+
+    def _account_removal(self, action_id: int, pool: _RandomPool) -> None:
+        self._sizes.add(self._slot_of[action_id], -1)
+        self._total -= 1
+        if len(pool) == 0:
+            self._n_awake -= 1
 
     def awake_actions(self) -> list[int]:
         """Actions that still have unvisited links (1_a(t) = 1)."""
@@ -118,7 +221,7 @@ class Frontier:
 
     def n_awake(self) -> int:
         """Number of awake actions (the ``actions_awake`` gauge)."""
-        return sum(1 for p in self._pools.values() if len(p) > 0)
+        return self._n_awake
 
     def action_sizes(self) -> dict[int, int]:
         """Unvisited-URL count per awake action, for frontier-shape

@@ -83,28 +83,29 @@ class HnswIndex:
     ) -> list[tuple[float, int]]:
         """Beam search in one layer; returns (distance, key) sorted ascending."""
         visited = set(entry_points)
-        candidates = [
-            (self._distance(query, query_norm, key), key) for key in entry_points
-        ]
+        distance = self._distance
+        links = self._links
+        heappush, heappop = heapq.heappush, heapq.heappop
+        candidates = [(distance(query, query_norm, key), key) for key in entry_points]
         heapq.heapify(candidates)
         # Max-heap of current best via negated distances.
         best = [(-d, key) for d, key in candidates]
         heapq.heapify(best)
         while candidates:
-            dist, key = heapq.heappop(candidates)
+            dist, key = heappop(candidates)
             worst = -best[0][0]
             if dist > worst and len(best) >= ef:
                 break
-            for neighbour in self._links[key][level]:
+            for neighbour in links[key][level]:
                 if neighbour in visited:
                     continue
                 visited.add(neighbour)
-                d = self._distance(query, query_norm, neighbour)
+                d = distance(query, query_norm, neighbour)
                 if len(best) < ef or d < -best[0][0]:
-                    heapq.heappush(candidates, (d, neighbour))
-                    heapq.heappush(best, (-d, neighbour))
+                    heappush(candidates, (d, neighbour))
+                    heappush(best, (-d, neighbour))
                     if len(best) > ef:
-                        heapq.heappop(best)
+                        heappop(best)
         return sorted((-negd, key) for negd, key in best)
 
     def search(self, query: np.ndarray, k: int = 1, ef: int | None = None
@@ -123,13 +124,15 @@ class HnswIndex:
     def _greedy_step(
         self, query: np.ndarray, query_norm: float, entry: int, level: int
     ) -> int:
+        distance = self._distance
+        links = self._links
         current = entry
-        current_dist = self._distance(query, query_norm, current)
+        current_dist = distance(query, query_norm, current)
         improved = True
         while improved:
             improved = False
-            for neighbour in self._links[current][level]:
-                d = self._distance(query, query_norm, neighbour)
+            for neighbour in links[current][level]:
+                d = distance(query, query_norm, neighbour)
                 if d < current_dist:
                     current, current_dist = neighbour, d
                     improved = True

@@ -50,6 +50,14 @@ class TagPathVectorizer:
     bucket structure of the projection (which input positions share an
     output bucket, and each bucket's current size) is maintained
     incrementally so projecting one path costs O(nnz).
+
+    Featurization (tokenize → n-grams → vocabulary positions → output
+    buckets) is memoized per tag-path string: a crawl sees the same
+    template paths over and over, and a path whose n-grams are all known
+    cannot grow the vocabulary, so its (bucket, count) pairs never
+    change.  Only the final bucket *means* depend on the current
+    vocabulary size, and those are recomputed on every projection —
+    cached and uncached paths produce bit-identical vectors.
     """
 
     def __init__(
@@ -71,6 +79,9 @@ class TagPathVectorizer:
         self._position_bucket: list[int] = []
         #: number of vocabulary positions mapping to each output bucket.
         self._bucket_sizes = np.zeros(self.dim, dtype=np.float64)
+        #: per tag path: (bucket indices, counts) in first-occurrence
+        #: order — the memoized featurization described above.
+        self._path_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
 
     # -- vocabulary ------------------------------------------------------
 
@@ -98,6 +109,27 @@ class TagPathVectorizer:
 
     # -- projection ----------------------------------------------------------
 
+    def _featurize(self, tag_path: str) -> tuple[np.ndarray, np.ndarray]:
+        """Memoized (buckets, counts) of one tag path, growing the
+        vocabulary on a cache miss.  Bucket order is the first-occurrence
+        order of the path's n-grams, so the float accumulation order of
+        :meth:`project` is identical with and without the cache."""
+        cached = self._path_cache.get(tag_path)
+        if cached is not None:
+            return cached
+        counts: dict[int, float] = {}
+        for ngram in self._ngrams(tag_path):
+            position = self._position(ngram)
+            counts[position] = counts.get(position, 0.0) + 1.0
+        position_bucket = self._position_bucket
+        buckets = np.fromiter(
+            (position_bucket[p] for p in counts), dtype=np.intp, count=len(counts)
+        )
+        values = np.fromiter(counts.values(), dtype=np.float64, count=len(counts))
+        cached = (buckets, values)
+        self._path_cache[tag_path] = cached
+        return cached
+
     def project(self, tag_path: str) -> np.ndarray:
         """Vectorise one tag path into the fixed D-dimensional space.
 
@@ -106,13 +138,29 @@ class TagPathVectorizer:
         computed), then bucket means are formed over the *current*
         vocabulary size.
         """
-        counts: dict[int, float] = {}
-        for ngram in self._ngrams(tag_path):
-            position = self._position(ngram)
-            counts[position] = counts.get(position, 0.0) + 1.0
-        projected = np.zeros(self.dim, dtype=np.float64)
-        for position, count in counts.items():
-            projected[self._position_bucket[position]] += count
+        buckets, values = self._featurize(tag_path)
+        # bincount accumulates the weights sequentially, so colliding
+        # buckets sum in the same order as the pre-vectorized loop did.
+        projected = np.bincount(buckets, weights=values, minlength=self.dim)
         occupied = self._bucket_sizes > 0
         projected[occupied] /= self._bucket_sizes[occupied]
+        return projected
+
+    def project_many(self, tag_paths: list[str]) -> np.ndarray:
+        """Batched projection: one ``(len(tag_paths), D)`` matrix.
+
+        The vocabulary is grown over the *whole* batch first, then every
+        row is formed under the final vocabulary — use it for offline /
+        bulk featurization where all paths are known up front.  (A
+        sequential :meth:`project` loop instead projects each path under
+        the vocabulary as of that call; the two agree exactly when no
+        path introduces new n-grams.)
+        """
+        featurized = [self._featurize(path) for path in tag_paths]
+        dim = self.dim
+        projected = np.empty((len(tag_paths), dim), dtype=np.float64)
+        for row, (buckets, values) in enumerate(featurized):
+            projected[row] = np.bincount(buckets, weights=values, minlength=dim)
+        occupied = self._bucket_sizes > 0
+        projected[:, occupied] /= self._bucket_sizes[occupied]
         return projected

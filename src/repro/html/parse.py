@@ -44,6 +44,9 @@ class _LinkExtractor(HTMLParser):
     def __init__(self, text_limit: int = 4000) -> None:
         super().__init__(convert_charrefs=True)
         self._stack: list[str] = []
+        #: bare tag of each stack segment (segment text up to the first
+        #: ``#``/``.``), precomputed so end-tag matching needs no splits.
+        self._bare_stack: list[str] = []
         self._links: list[Link] = []
         self._pending: list[tuple[str, str, list[str]]] = []  # url, path, texts
         self._text_parts: list[str] = []
@@ -87,23 +90,27 @@ class _LinkExtractor(HTMLParser):
     # -- HTMLParser hooks -------------------------------------------------
 
     def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
-        segment = self._segment(tag, attrs)
-        attr_map = {k: v for k, v in attrs}
+        # Most elements carry no id/class, so skip segment assembly (and
+        # the attribute-map dict, needed only by a few tags) when we can.
+        segment = self._segment(tag, attrs) if attrs else tag
         if tag == "title":
             self._in_title = True
         elif tag == "form":
+            attr_map = {k: v for k, v in attrs}
             self._form_action = attr_map.get("action") or ""
             self._form_fields = []
         elif tag == "select" and self._form_action is not None:
+            attr_map = {k: v for k, v in attrs}
             self._select_name = attr_map.get("name") or f"f{len(self._form_fields)}"
             self._form_fields.append((self._select_name, []))
         elif tag == "option" and self._select_name is not None:
-            value = attr_map.get("value")
+            value = {k: v for k, v in attrs}.get("value")
             if value and self._form_fields:
                 self._form_fields[-1][1].append(value)
         self._record_link(tag, attrs, segment, closed=False)
         if tag not in _VOID_ELEMENTS:
             self._stack.append(segment)
+            self._bare_stack.append(segment.split("#")[0].split(".")[0])
 
     def handle_startendtag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
         segment = self._segment(tag, attrs)
@@ -130,10 +137,11 @@ class _LinkExtractor(HTMLParser):
             self._form_fields = []
         # Pop the stack back to the matching open tag (tolerant of
         # mis-nesting, like real crawlers must be).
-        for index in range(len(self._stack) - 1, -1, -1):
-            stack_tag = self._stack[index].split("#")[0].split(".")[0]
-            if stack_tag == tag:
+        bare_stack = self._bare_stack
+        for index in range(len(bare_stack) - 1, -1, -1):
+            if bare_stack[index] == tag:
                 del self._stack[index:]
+                del bare_stack[index:]
                 break
         if tag in _LINK_ELEMENTS and self._pending:
             url, path, texts = self._pending.pop()

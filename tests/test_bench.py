@@ -1,0 +1,211 @@
+"""Tests for the hot-path benchmarking subsystem (``repro.bench``).
+
+Three contracts are held here:
+
+* **Schema** — ``python -m repro bench`` emits a document containing
+  every field of :data:`repro.bench.SCHEMA_FIELDS`, one section per
+  registered name, in registry order.
+* **Determinism** — two runs with the same ``(seed, scale, repeats)``
+  agree exactly on everything except wall-clock measurements
+  (:func:`repro.bench.strip_timings` defines "everything except").
+* **Gate** — the e2e pages/sec regression gate fails on drops beyond
+  tolerance, passes on improvements, and refuses cross-scale or
+  cross-schema comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_FIELDS,
+    SCHEMA_VERSION,
+    SECTION_NAMES,
+    SECTIONS,
+    bench_results_dir,
+    check_regression,
+    percentile,
+    speedup,
+    strip_timings,
+    time_workload,
+)
+from repro.bench.__main__ import main as bench_main, render_report
+
+
+def _run_cli(tmp_path: Path, name: str, extra: list[str] | None = None) -> dict:
+    out = tmp_path / name
+    argv = [
+        "--seed", "7", "--scale", "0.05", "--repeats", "1",
+        "--out", str(out),
+    ] + (extra or [])
+    assert bench_main(argv) == 0
+    return json.loads(out.read_text())
+
+
+# -- harness ---------------------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 0.5) == 3.0  # round(0.5 * 3) = 2
+    assert percentile(values, 1.0) == 4.0
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+
+
+def test_time_workload_counts_and_fields():
+    states = []
+    runs = []
+    timing = time_workload(
+        lambda: states.append(1), lambda s: runs.append(1), ops=10, repeats=3
+    )
+    assert len(states) == len(runs) == 3
+    assert set(timing) == {"p50_ms", "p95_ms", "ops_per_sec", "seconds"}
+    assert timing["p50_ms"] <= timing["p95_ms"]
+    assert timing["seconds"] > 0
+    with pytest.raises(ValueError):
+        time_workload(lambda: None, lambda s: None, ops=1, repeats=0)
+
+
+def test_speedup_is_reference_over_optimized():
+    assert speedup({"p50_ms": 10.0}, {"p50_ms": 2.0}) == pytest.approx(5.0)
+
+
+# -- sections --------------------------------------------------------------
+
+
+def test_section_registry_is_consistent():
+    assert set(SECTION_NAMES) == set(SECTIONS)
+    assert SECTION_NAMES[-1] == "e2e"  # e2e last: it summarises the rest
+
+
+# -- CLI + schema ----------------------------------------------------------
+
+
+def _all_keys(value: object) -> set[str]:
+    keys: set[str] = set()
+    if isinstance(value, dict):
+        for k, v in value.items():
+            keys.add(k)
+            keys |= _all_keys(v)
+    elif isinstance(value, list):
+        for item in value:
+            keys |= _all_keys(item)
+    return keys
+
+
+def test_cli_emits_schema_valid_document(tmp_path):
+    document = _run_cli(tmp_path, "bench.json")
+    assert document["schema_version"] == SCHEMA_VERSION
+    assert [s["name"] for s in document["sections"]] == list(SECTION_NAMES)
+    present = _all_keys(document)
+    workload_keys = _all_keys([s["workload"] for s in document["sections"]])
+    missing = [f for f in SCHEMA_FIELDS
+               if f not in present and f not in workload_keys]
+    assert not missing, f"schema fields absent from document: {missing}"
+    for section in document["sections"]:
+        assert set(section["timing"]) == {
+            "p50_ms", "p95_ms", "ops_per_sec", "seconds",
+        }
+    assert document["e2e_pages_per_sec"] > 0
+    # The optimized hot paths must record their before/after deltas.
+    assert set(document["optimizations"]) == {"tagpath", "frontier"}
+    # The report renderer accepts its own document.
+    report = render_report(document)
+    for name in SECTION_NAMES:
+        assert name in report
+
+
+def test_cli_section_subset_and_unknown_section(tmp_path):
+    document = _run_cli(tmp_path, "subset.json",
+                        ["--sections", "frontier,tagpath"])
+    # Registry order, not flag order.
+    assert [s["name"] for s in document["sections"]] == ["tagpath", "frontier"]
+    assert document["e2e_pages_per_sec"] is None
+    with pytest.raises(SystemExit):
+        bench_main(["--sections", "nope"])
+
+
+def test_determinism_gate_two_runs_identical(tmp_path):
+    """The tentpole determinism contract: two `repro bench --seed 7`
+    runs at the same scale agree on every non-timing field."""
+    first = _run_cli(tmp_path, "first.json")
+    second = _run_cli(tmp_path, "second.json")
+    assert first != second  # timings differ...
+    assert strip_timings(first) == strip_timings(second)  # ...nothing else
+
+
+def test_strip_timings_removes_machine_dependent_fields(tmp_path):
+    document = _run_cli(tmp_path, "strip.json")
+    stripped = strip_timings(document)
+    assert "environment" not in stripped
+    assert "e2e_pages_per_sec" not in stripped
+    assert stripped["optimizations"] == ["frontier", "tagpath"]
+    for section in stripped["sections"]:
+        assert "timing" not in section
+        assert "variants" not in section
+        assert "speedup_vs_reference" not in section
+        assert section["workload"]  # the deterministic part remains
+
+
+# -- results dir -----------------------------------------------------------
+
+
+def test_bench_results_dir_is_cwd_independent(tmp_path, monkeypatch):
+    here = bench_results_dir()
+    monkeypatch.chdir(tmp_path)
+    assert bench_results_dir() == here
+    assert here.name == "bench_results"
+    assert (here.parent / "pyproject.toml").exists()  # repo root anchored
+
+
+# -- regression gate -------------------------------------------------------
+
+
+def _doc(pages_per_sec: float, scale: float = 1.0,
+         schema: int = SCHEMA_VERSION) -> dict:
+    return {
+        "schema_version": schema,
+        "scale": scale,
+        "e2e_pages_per_sec": pages_per_sec,
+    }
+
+
+def test_gate_passes_within_tolerance_and_on_improvement():
+    assert check_regression(_doc(95.0), _doc(100.0)).passed
+    assert check_regression(_doc(81.0), _doc(100.0)).passed  # at the edge
+    improved = check_regression(_doc(150.0), _doc(100.0))
+    assert improved.passed
+    assert improved.ratio == pytest.approx(1.5)
+
+
+def test_gate_fails_beyond_tolerance():
+    result = check_regression(_doc(79.0), _doc(100.0))
+    assert not result.passed
+    assert "REGRESSION" in result.message
+    tightened = check_regression(_doc(95.0), _doc(100.0), tolerance=0.01)
+    assert not tightened.passed
+
+
+def test_gate_refuses_cross_scale_and_cross_schema():
+    cross_scale = check_regression(_doc(100.0, scale=0.2), _doc(100.0))
+    assert not cross_scale.passed
+    assert "scale mismatch" in cross_scale.message
+    cross_schema = check_regression(_doc(100.0, schema=2), _doc(100.0))
+    assert not cross_schema.passed
+    assert "schema mismatch" in cross_schema.message
+    missing = check_regression({"schema_version": SCHEMA_VERSION,
+                                "scale": 1.0}, _doc(100.0))
+    assert not missing.passed
+
+
+def test_committed_baseline_gates_against_itself():
+    baseline_path = bench_results_dir() / "BENCH_7.json"
+    baseline = json.loads(baseline_path.read_text())
+    result = check_regression(baseline, baseline)
+    assert result.passed
+    assert result.ratio == pytest.approx(1.0)

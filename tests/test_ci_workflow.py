@@ -22,7 +22,9 @@ def _load():
 
 def test_workflow_parses_and_declares_all_jobs():
     doc = _load()
-    assert set(doc["jobs"]) == {"tests", "lint", "precheck", "bench-smoke"}
+    assert set(doc["jobs"]) == {
+        "tests", "lint", "precheck", "bench", "bench-smoke",
+    }
 
 
 def test_tests_job_runs_tier1_on_both_pythons():
@@ -67,6 +69,55 @@ def test_lint_job_archives_report_and_summarises_findings():
     assert len(uploads) == 1
     assert uploads[0]["if"] == "always()"
     assert uploads[0]["with"]["path"] == "lint-report.json"
+
+
+def test_bench_job_always_runs_and_uploads_trajectory_artifact():
+    """The hot-path bench job must run on every CI event (no `if` gate),
+    at reduced scale without enforcing the regression gate, and archive
+    its BENCH_<n>.json as the named bench-trajectory artifact."""
+    doc = _load()
+    bench = doc["jobs"]["bench"]
+    assert "if" not in bench  # every push/PR accumulates a trajectory point
+    scale = float(bench["env"]["REPRO_BENCH_SCALE"])
+    assert 0 < scale < 1.0
+    commands = "\n".join(s.get("run", "") for s in bench["steps"])
+    assert "python -m repro bench" in commands
+    assert "--gate-against" not in commands  # reduced scale: no gate
+    uploads = [s for s in bench["steps"]
+               if "upload-artifact" in str(s.get("uses", ""))]
+    assert len(uploads) == 1
+    assert uploads[0]["if"] == "always()"
+    assert uploads[0]["with"]["name"] == "bench-trajectory"
+
+
+def test_bench_smoke_enforces_gate_at_full_scale():
+    """The schedule/label-gated job is where the regression gate has
+    teeth: a full-scale `repro bench` run compared against the committed
+    baseline document."""
+    doc = _load()
+    steps = doc["jobs"]["bench-smoke"]["steps"]
+    gate_steps = [s for s in steps
+                  if "--gate-against" in s.get("run", "")]
+    assert len(gate_steps) == 1
+    step = gate_steps[0]
+    assert "bench_results/BENCH_7.json" in step["run"]
+    # The gate only has meaning at full scale (cross-scale pages/sec are
+    # not comparable) — the step must override the job-level smoke scale.
+    assert float(step["env"]["REPRO_BENCH_SCALE"]) == 1.0
+
+
+def test_bench_baseline_document_is_committed():
+    """The gate needs a committed baseline: bench_results/BENCH_7.json
+    must exist, parse, and carry the gated number."""
+    import json
+
+    baseline = (Path(__file__).resolve().parent.parent
+                / "bench_results" / "BENCH_7.json")
+    assert baseline.exists(), "committed bench baseline missing"
+    doc = json.loads(baseline.read_text())
+    assert doc["schema_version"] == 1
+    assert doc["scale"] == 1.0
+    assert doc["e2e_pages_per_sec"] > 0
 
 
 def test_bench_smoke_is_gated_and_scaled_down():

@@ -105,3 +105,71 @@ def test_frontier_invariants(operations):
         drained.add(frontier.pop_from_action(action))
     assert drained == set(reference)
     assert len(frontier) == 0
+
+
+class _ChoicesFrontier(Frontier):
+    """Pre-Fenwick global draw: ``random.choices`` over rebuilt weight
+    lists.  The optimized ``pop_random`` must replay its RNG stream
+    bit-for-bit, so crawls are byte-identical across the change."""
+
+    def pop_random(self) -> str:
+        if len(self) == 0:
+            raise KeyError("frontier is empty")
+        pools = [(a, p) for a, p in self._pools.items() if len(p) > 0]
+        action_id = self._rng.choices(
+            [a for a, _ in pools], weights=[len(p) for _, p in pools], k=1
+        )[0]
+        return self.pop_from_action(action_id)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["add", "pop_random", "pop_action", "discard"]),
+            st.integers(min_value=0, max_value=12),
+            st.integers(min_value=0, max_value=80),
+        ),
+        max_size=120,
+    ),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_pop_random_matches_choices_reference(operations, seed):
+    """Fenwick draw == random.choices draw: same URLs, same RNG state."""
+    fast, reference = Frontier(seed=seed), _ChoicesFrontier(seed=seed)
+    for kind, action, serial in operations:
+        url = f"u{serial}"
+        if kind == "add":
+            fast.add(url, action)
+            reference.add(url, action)
+        elif kind == "discard":
+            assert fast.discard(url) == reference.discard(url)
+        else:
+            results = []
+            for frontier in (fast, reference):
+                try:
+                    if kind == "pop_random":
+                        results.append(frontier.pop_random())
+                    else:
+                        results.append(frontier.pop_from_action(action))
+                except KeyError:
+                    results.append(None)
+            assert results[0] == results[1]
+        assert len(fast) == len(reference)
+        assert fast.n_awake() == len(reference.awake_actions())
+        assert fast._rng.getstate() == reference._rng.getstate()
+
+
+def test_n_awake_counter_tracks_pool_state():
+    frontier = Frontier(seed=1)
+    assert frontier.n_awake() == 0
+    frontier.add("a", 0)
+    frontier.add("b", 0)
+    frontier.add("c", 1)
+    assert frontier.n_awake() == 2
+    frontier.pop_from_action(1)
+    assert frontier.n_awake() == 1
+    frontier.discard("a")
+    frontier.discard("b")
+    assert frontier.n_awake() == 0
+    assert frontier.awake_actions() == []

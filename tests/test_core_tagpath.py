@@ -132,3 +132,38 @@ def test_projection_always_finite_nonnegative(segments):
     assert np.isfinite(vector).all()
     assert (vector >= 0).all()
     assert vector.sum() > 0
+
+
+def test_memoized_projection_bit_identical_to_fresh():
+    """The per-path featurization cache must not change a single bit:
+    a cached re-projection equals what a fresh vectorizer (same history)
+    computes, even after the vocabulary grew in between."""
+    paths = [
+        "html body div.content a",
+        "html body ul li a",
+        "html body div.content a",          # cache hit
+        "html body div.content span.new a",  # grows the vocabulary
+        "html body div.content a",          # hit again, larger vocab
+    ]
+    cached = TagPathVectorizer()
+    replay = TagPathVectorizer()
+    for replay_path in paths:
+        replay.project(replay_path)
+    for index, path in enumerate(paths):
+        vector = cached.project(path)
+        if index == len(paths) - 1:
+            reference = replay.project(path)
+            assert vector.tobytes() == reference.tobytes()
+
+
+def test_project_many_matches_sequential_projection():
+    """Batched projection under the final vocabulary == a sequential
+    loop once every n-gram is known."""
+    paths = ["html body div a", "html body ul li a", "html body div a"]
+    warm = TagPathVectorizer()
+    for path in paths:
+        warm.project(path)  # vocabulary now complete
+    matrix = warm.project_many(paths)
+    assert matrix.shape == (len(paths), warm.dim)
+    for row, path in enumerate(paths):
+        assert matrix[row].tobytes() == warm.project(path).tobytes()

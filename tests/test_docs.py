@@ -138,6 +138,19 @@ def test_observability_doc_covers_every_metric():
         assert f"`{name}`" in doc, f"metric {name} missing from catalogue"
 
 
+def test_performance_doc_covers_schema_and_sections():
+    """docs/performance.md is the BENCH_<n>.json schema reference: every
+    benchmark section name and every schema field must appear in it
+    (drift gate for the bench subsystem)."""
+    from repro.bench import SCHEMA_FIELDS, SECTION_NAMES
+
+    doc = (REPO / "docs" / "performance.md").read_text()
+    for section in SECTION_NAMES:
+        assert f"`{section}`" in doc, f"section {section} missing"
+    for field in SCHEMA_FIELDS:
+        assert f"`{field}`" in doc, f"schema field {field} missing"
+
+
 def test_observability_worked_example_runs_as_written():
     """The docs/observability.md worked example executes verbatim
     (its own asserts check event counts against the CrawlResult)."""
