@@ -114,8 +114,11 @@ def schedule_campaign(
 
     while active:
         worker_free = heapq.heappop(workers)
-        # Pick the runnable site that has been ready the longest.
-        site = min(active, key=lambda s: (max(site_ready[s], worker_free), site_ready[s]))
+        # Pick the runnable site that has been ready the longest; the
+        # site name is the last key so ties cannot fall back to input
+        # order — the schedule is a pure function of the workload *set*.
+        site = min(active, key=lambda s: (max(site_ready[s], worker_free),
+                                          site_ready[s], s))
         start = max(site_ready[site], worker_free)
         duration = per_request_service[site]
         end = start + duration
@@ -128,12 +131,15 @@ def schedule_campaign(
         heapq.heappush(workers, end)
 
     makespan = max(finish.values()) if finish else 0.0
+    # Summation in sorted-site order: float addition is not associative,
+    # so input-order summation would let permuted workload lists produce
+    # reports differing in the last ulp.
     sequential = sum(
         max(
             w.n_requests * politeness_delay,
             w.n_requests * per_request_service[w.site],
         )
-        for w in workloads
+        for w in sorted(workloads, key=lambda w: w.site)
     )
     return CampaignReport(
         n_workers=n_workers,

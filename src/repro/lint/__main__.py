@@ -23,11 +23,15 @@ import sys
 from dataclasses import replace
 from pathlib import Path
 
+from repro.lint.certificate import (DEFAULT_CERTIFICATE_PATH,
+                                    build_certificate, render_certificate)
+from repro.lint.conc_rules import default_conc_rules
 from repro.lint.config import load_pyproject_config
 from repro.lint.df_rules import default_df_rules
 from repro.lint.engine import LintUsageError, Linter
 from repro.lint.project import default_project_rules
-from repro.lint.reporters import render_json, render_stats, render_text
+from repro.lint.reporters import (render_json, render_sarif, render_stats,
+                                  render_text)
 from repro.lint.rules import default_rules
 
 EXIT_CLEAN = 0
@@ -53,8 +57,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("human", "json"), default="human",
-        help="report format (json is stable for CI annotation)",
+        "--format", choices=("human", "json", "sarif"), default="human",
+        help="report format (json is stable for CI annotation; sarif is "
+             "SARIF 2.1.0 for code-scanning upload)",
     )
     parser.add_argument(
         "--disable", default="",
@@ -102,6 +107,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--shard-safety", default=None, metavar="PACKAGE",
+        help="emit the shard-safety certificate for a dotted package "
+             "(e.g. repro.campaign); implies --project and writes the "
+             "JSON document to --cert-out",
+    )
+    parser.add_argument(
+        "--cert-out", default=DEFAULT_CERTIFICATE_PATH, metavar="PATH",
+        help="where --shard-safety writes the certificate "
+             f"(default: {DEFAULT_CERTIFICATE_PATH})",
+    )
     return parser
 
 
@@ -141,14 +157,16 @@ def main(argv: list[str] | None = None) -> int:
     rules = default_rules()
     project_rules = default_project_rules()
     df_rules = default_df_rules()
+    conc_rules = default_conc_rules()
     if args.list_rules:
-        for rule in [*rules, *project_rules, *df_rules]:
+        for rule in [*rules, *project_rules, *df_rules, *conc_rules]:
             print(f"{rule.code}  {rule.name}: {rule.rationale}")
         return EXIT_CLEAN
 
     known = {rule.code for rule in rules}
     known.update(rule.code for rule in project_rules)
     known.update(rule.code for rule in df_rules)
+    known.update(rule.code for rule in conc_rules)
     selected = {c.strip().upper() for c in args.select.split(",") if c.strip()}
     disabled = {c.strip().upper() for c in args.disable.split(",") if c.strip()}
     selected = _expand_families(selected, known)
@@ -175,6 +193,7 @@ def main(argv: list[str] | None = None) -> int:
         project_rules = [rule for rule in project_rules
                          if rule.code in selected]
         df_rules = [rule for rule in df_rules if rule.code in selected]
+        conc_rules = [rule for rule in conc_rules if rule.code in selected]
         # An explicit --select wins over the pyproject disable list
         # (ruff semantics): lift the selected codes out of `disable` so
         # the Linter does not silently drop them again.
@@ -184,30 +203,56 @@ def main(argv: list[str] | None = None) -> int:
         project_rules = [rule for rule in project_rules
                          if rule.code not in disabled]
         df_rules = [rule for rule in df_rules if rule.code not in disabled]
+        conc_rules = [rule for rule in conc_rules
+                      if rule.code not in disabled]
     if not args.dataflow:
         df_rules = []  # --no-dataflow wins, even over an explicit select
 
     project = args.project
     if project is None:
-        # DF003's findings only materialise in the project phase (its
-        # reachability needs the call graph), so selecting it implies
-        # --project, exactly like selecting a FLOW rule.
+        # DF003 and the CONC family only materialise findings in the
+        # project phase (reachability needs the call graph), so
+        # selecting them implies --project, like selecting a FLOW rule.
         project = (any(code.startswith("FLOW") for code in selected)
+                   or any(code.startswith("CONC") for code in selected)
                    or "DF003" in selected)
+    if args.shard_safety is not None:
+        project = True  # the certificate is a whole-program artifact
+        if not conc_rules:
+            print("error: --shard-safety needs the CONC rules enabled",
+                  file=sys.stderr)
+            return EXIT_USAGE
     cache_path = None if args.no_cache else args.cache
     reference_roots = _discover_reference_roots(args.paths) if project else ()
 
     try:
         linter = Linter(config=config, rules=rules,
-                        project_rules=project_rules, df_rules=df_rules)
+                        project_rules=project_rules, df_rules=df_rules,
+                        conc_rules=conc_rules)
         run = linter.run(args.paths, project=project, cache_path=cache_path,
                          reference_roots=reference_roots)
     except LintUsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(run.findings, cache=run.cache))
+    if args.shard_safety is not None:
+        certificate = build_certificate(run, args.shard_safety)
+        out_path = Path(args.cert_out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(render_certificate(certificate),
+                            encoding="utf-8")
+        summary = certificate["summary"]
+        print(
+            f"shard-safety[{args.shard_safety}]: "
+            f"{'SAFE' if summary['safe'] else 'UNSAFE'} — "
+            f"{summary['conc_findings']} CONC finding(s), "
+            f"{summary['worker_reachable']} worker-reachable function(s), "
+            f"digest {certificate['digest'][:12]} -> {out_path}"
+        )
+
+    renderers = {"json": render_json, "sarif": render_sarif,
+                 "human": render_text}
+    print(renderers[args.format](run.findings, cache=run.cache))
     if args.stats:
         print(render_stats(run), file=sys.stderr)
     return EXIT_FINDINGS if run.findings else EXIT_CLEAN

@@ -26,16 +26,30 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.lint.df_rules import MutationFact
+from repro.lint.effects import ModuleEffects
 from repro.lint.engine import Finding
 from repro.lint.symbols import ModuleSymbols
 
 #: Bumped when the on-disk cache layout itself changes.
 #: 2: per-file dataflow facts (``df_facts``) joined the entry layout.
-CACHE_FORMAT = 2
+#: 3: per-file effect facts (``effect_facts``) joined the entry layout.
+CACHE_FORMAT = 3
+
+
+def interpreter_tag() -> str:
+    """``py3.11``-style tag of the running interpreter.
+
+    Part of the whole-cache key: AST node shapes differ across minor
+    versions, so a cache written under 3.11 must not be replayed under
+    3.12 (CI runs both, and a shared workspace would otherwise
+    ping-pong between them).
+    """
+    return f"py{sys.version_info[0]}.{sys.version_info[1]}"
 
 
 def content_sha(data: bytes) -> str:
@@ -54,6 +68,9 @@ class CachedFile:
     #: DF rule code -> per-file dataflow facts (phase 3); today only
     #: DF003's :class:`~repro.lint.df_rules.MutationFact` list.
     df_facts: dict[str, list] = field(default_factory=dict)
+    #: Phase-4 effect facts (:class:`~repro.lint.effects.ModuleEffects`);
+    #: ``None`` for unparseable files.
+    effect_facts: ModuleEffects | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -69,6 +86,8 @@ class CachedFile:
                 code: [fact.to_dict() for fact in facts]
                 for code, facts in sorted(self.df_facts.items())
             },
+            "effect_facts": (self.effect_facts.to_dict()
+                             if self.effect_facts is not None else None),
         }
 
     @classmethod
@@ -87,6 +106,8 @@ class CachedFile:
                 code: [MutationFact.from_dict(fact) for fact in facts]
                 for code, facts in data["df_facts"].items()
             },
+            effect_facts=(ModuleEffects.from_dict(data["effect_facts"])
+                          if data.get("effect_facts") is not None else None),
         )
 
 
@@ -109,7 +130,7 @@ class LintCache:
 
     def __init__(self, path: str | Path, key: str) -> None:
         self.path = Path(path)
-        self.key = key
+        self.key = f"{interpreter_tag()}|{key}"
         self.entries: dict[str, CachedFile] = {}
         self._dirty = False
         self._load()

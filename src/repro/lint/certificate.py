@@ -1,0 +1,136 @@
+"""The shard-safety certificate: phase 4's machine-readable verdict.
+
+``python -m repro.lint --shard-safety repro.campaign`` distils one
+project-mode lint run into a deterministic JSON document the scheduler
+work can *gate on*: per-symbol effect classifications for the target
+package, a pass/fail verdict per CONC rule, the worker-reachable
+surface summary, and a SHA-256 digest over the whole payload.  CI
+regenerates the certificate and fails on digest drift against the
+committed ``bench_results/shard_safety.json`` — so any change that
+makes previously-safe code unsafe (or silently widens the worker
+surface) turns red in review instead of at campaign scale.
+
+Determinism contract: no timestamps, no absolute paths, sorted keys,
+sorted symbol/finding lists — two runs over the same tree are
+byte-identical (that property is itself under test).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.lint.conc_rules import default_conc_rules
+from repro.lint.effects import EFFECT_RANK, EffectAnalysis
+from repro.lint.rules import RULESET_VERSION
+from repro.lint.symbols import module_name_for
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import LintRun
+
+#: Bumped when the certificate layout changes incompatibly.
+CERTIFICATE_SCHEMA_VERSION = 1
+
+#: Default committed location (bench_results/ is the repo's home for
+#: generated-and-committed gate artifacts).
+DEFAULT_CERTIFICATE_PATH = "bench_results/shard_safety.json"
+
+
+def _relative_posix(path: str) -> str:
+    """Repo-relative posix path, best effort (absolute inputs are cut
+    at the last ``src``/``tests``/``benchmarks`` component)."""
+    posix = Path(path).as_posix()
+    for anchor in ("src/", "tests/", "benchmarks/", "examples/"):
+        index = posix.rfind(anchor)
+        if index != -1:
+            return posix[index:]
+    return posix
+
+
+def build_certificate(run: "LintRun", target: str) -> dict:
+    """Assemble the certificate document (digest included) from a
+    ``project=True`` lint run whose :attr:`LintRun.effects` is set."""
+    analysis = run.effects
+    if not isinstance(analysis, EffectAnalysis):
+        raise ValueError(
+            "shard-safety needs a project-mode run with CONC rules "
+            "enabled (LintRun.effects is missing)"
+        )
+
+    conc_codes = [rule.code for rule in default_conc_rules()]
+    conc_findings = sorted(f for f in run.findings
+                           if f.rule in set(conc_codes))
+
+    symbols = []
+    for (path, qualname), fact in sorted(analysis.facts.items()):
+        module = module_name_for(path)
+        if module != target and not module.startswith(target + "."):
+            continue
+        symbols.append({
+            "module": module,
+            "qualname": qualname,
+            "line": fact.line,
+            "effect": analysis.effect_of(path, qualname),
+            "local_effect": fact.local_effect,
+            "worker_reachable": analysis.is_worker_reachable(path, qualname),
+            "sites": len(fact.sites),
+        })
+    symbols.sort(key=lambda s: (s["module"], s["qualname"]))
+
+    histogram = {effect: 0 for effect in EFFECT_RANK}
+    for key in analysis.worker_reachable:
+        histogram[analysis.effects[key]] += 1
+
+    rules = {}
+    for rule in default_conc_rules():
+        count = sum(1 for f in conc_findings if f.rule == rule.code)
+        rules[rule.code] = {
+            "name": rule.name,
+            "findings": count,
+            "verdict": "pass" if count == 0 else "fail",
+        }
+
+    document = {
+        "schema_version": CERTIFICATE_SCHEMA_VERSION,
+        "tool": "repro.lint --shard-safety",
+        "ruleset_version": RULESET_VERSION,
+        "target": target,
+        "rules": rules,
+        "symbols": symbols,
+        "summary": {
+            "functions_analyzed": len(analysis.facts),
+            "worker_reachable": len(analysis.worker_reachable),
+            "worker_effects": histogram,
+            "target_symbols": len(symbols),
+            "conc_findings": len(conc_findings),
+            "safe": not conc_findings,
+        },
+        "findings": [
+            {
+                "path": _relative_posix(f.path),
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in conc_findings
+        ],
+    }
+    document["digest"] = certificate_digest(document)
+    return document
+
+
+def certificate_digest(document: dict) -> str:
+    """SHA-256 over the canonical JSON form, ``digest`` key excluded."""
+    payload = {k: v for k, v in document.items() if k != "digest"}
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def render_certificate(document: dict) -> str:
+    """Canonical serialisation: sorted keys, two-space indent, trailing
+    newline — byte-identical across runs and platforms."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

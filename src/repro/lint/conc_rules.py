@@ -1,0 +1,451 @@
+"""Phase 4 of the analysis: concurrency/shardability rules (CONC).
+
+The ROADMAP's next milestone shards the campaign engine into parallel
+per-domain workers.  That only preserves the determinism contract if
+worker-executed code shares no mutable state, owns its RNG streams, and
+takes no hidden inputs (wall clock, filesystem, environment).  These
+rules certify exactly that, on top of the effect facts and reachability
+computed in :mod:`repro.lint.effects`:
+
+* CONC001 shared-mutable-reachable — module-level mutable state touched
+  from worker-reachable code.  Subsumes DF003 (every DF003 mutation in
+  campaign/core scope is also a CONC001 mutate-site) and extends it to
+  *reads* of contested state — a worker reading a dict another function
+  mutates observes scheduling order;
+* CONC002 rng-stream-escape — an RNG stream built outside
+  ``derive_rng`` escaping its function, or a module-level stream shared
+  by two worker-reachable functions: either way two workers end up
+  drawing from one generator and the draw sequence depends on
+  interleaving;
+* CONC003 nondeterministic-iteration — iterating a ``set`` where the
+  order flows into returned/emitted/accumulated values (set iteration
+  order varies across processes under hash randomisation, so two
+  workers disagree even on identical input);
+* CONC004 unguarded-global-write — ``global`` rebinding from
+  worker-reachable code, the bluntest cross-worker race;
+* CONC005 hidden-io — clock/filesystem/environ access inside
+  worker-reachable functions, which the campaign replay machinery
+  treats as replayable pure-ish compute.
+
+Per-file halves report through the ordinary :class:`FileContext`, so
+``# repro: noqa[CONC00x]`` markers and FLOW004 stale-marker accounting
+apply unchanged; project halves return findings the engine filters
+through the same machinery.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.lint.cfg import CFG
+from repro.lint.config import RuleConfig
+from repro.lint.dataflow import TaintAnalysis, header_exprs, solve_forward
+from repro.lint.df_rules import MUTATOR_METHODS, _dotted, _own_nodes
+from repro.lint.effects import (IO, EffectAnalysis, is_derived_rng,
+                                is_rng_construction)
+from repro.lint.engine import FileContext, Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.project import ProjectModel
+
+#: Call names that *accumulate* values in order (CONC003 sinks): the
+#: frontier/ledger/event surfaces where iteration order becomes state.
+ORDER_SINK_METHODS = frozenset({
+    "append", "extend", "add", "insert", "put", "push", "emit", "record",
+    "enqueue", "write", "send",
+})
+
+
+class ConcRule:
+    """Base class for CONC rules; both hooks default to no-ops.
+
+    ``check_function`` runs per function with its CFG during phase 1/3
+    (cached per file through the ordinary findings list);
+    ``check_project`` runs in the project phase with the propagated
+    :class:`~repro.lint.effects.EffectAnalysis`.
+    """
+
+    code: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+
+    def check_function(self, func: ast.AST, cfg: CFG,
+                       ctx: FileContext) -> None:
+        pass
+
+    def check_project(self, model: "ProjectModel", config: RuleConfig,
+                      effects: EffectAnalysis) -> list[Finding]:
+        return []
+
+
+def _worker_sites(model: "ProjectModel", effects: EffectAnalysis,
+                  kinds: frozenset[str]):
+    """Yield ``(path, fact, site)`` for effect sites of the given kinds
+    inside worker-reachable functions of linted files, in stable order."""
+    for key in sorted(effects.worker_reachable):
+        path, _ = key
+        if not model.is_linted(path):
+            continue
+        fact = effects.facts[key]
+        for site in fact.sites:
+            if site.kind in kinds:
+                yield path, fact, site
+
+
+# ---------------------------------------------------------------------------
+# CONC001 — shared-mutable-reachable
+# ---------------------------------------------------------------------------
+
+
+class SharedMutableReachableRule(ConcRule):
+    """CONC001 — worker-reachable code must not touch module-level
+    mutable state.
+
+    DF003 already rejects *mutations* reachable from crawl entry points;
+    sharding makes the read side dangerous too: a worker reading a
+    module dict that any function mutates observes whatever the
+    scheduler interleaved, so identical campaigns diverge.  Mutate-sites
+    in worker-reachable functions always fire; read-sites fire only when
+    the target is *contested* — some function body in the same module
+    mutates it — so import-time registries that are never written after
+    import stay clean.
+    """
+
+    code = "CONC001"
+    name = "shared-mutable-reachable"
+    rationale = ("module-level mutable state touched from worker-reachable "
+                 "code races or diverges across campaign shards")
+
+    def check_project(self, model: "ProjectModel", config: RuleConfig,
+                      effects: EffectAnalysis) -> list[Finding]:
+        findings: list[Finding] = []
+        for path, fact, site in _worker_sites(
+                model, effects, frozenset({"mutate", "read"})):
+            if site.kind == "read" and (path, site.target) not in \
+                    effects.contested:
+                continue
+            verb = ("mutates" if site.kind == "mutate"
+                    else "reads contested")
+            findings.append(Finding(
+                path=path, line=site.line, col=site.col, rule=self.code,
+                message=(
+                    f"{fact.qualname}() {verb} module-level mutable "
+                    f"{site.target!r} ({site.detail}) and is reachable "
+                    "from campaign/core worker entry points; shards "
+                    "sharing it diverge — pass the state explicitly"
+                ),
+            ))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# CONC002 — rng-stream-escape
+# ---------------------------------------------------------------------------
+
+
+class _RngEscape(TaintAnalysis):
+    def is_source(self, expr: ast.AST) -> bool:
+        return is_rng_construction(expr) and not is_derived_rng(expr)
+
+
+class RngStreamEscapeRule(ConcRule):
+    """CONC002 — an RNG stream must stay owned by one execution context.
+
+    The per-file half tracks RNGs built outside ``derive_rng`` and fires
+    when one *escapes* its function: returned, yielded, stored anywhere
+    but ``self``, or handed to a container mutator.  A ``self``-stored
+    stream is per-instance state — each worker owns its instances — but
+    a stream that leaves the function joins state of unknown ownership,
+    and two shards drawing from it interleave nondeterministically.  The
+    project half fires on any *module-level* stream (derived or not)
+    referenced from two or more distinct worker-reachable functions:
+    one generator, many shards, order-dependent draws.
+    """
+
+    code = "CONC002"
+    name = "rng-stream-escape"
+    rationale = ("an RNG stream escaping its owner, or shared at module "
+                 "level, interleaves draws nondeterministically across "
+                 "shards; derive per-worker streams via derive_rng")
+
+    def check_function(self, func: ast.AST, cfg: CFG,
+                       ctx: FileContext) -> None:
+        if ctx.is_test_file() or ctx.config.is_rng_module(ctx.posix_path):
+            return
+        in_facts, _ = solve_forward(cfg, _RngEscape())
+        analysis = _RngEscape()
+        seen: set[int] = set()
+        for index in sorted(in_facts):
+            fact = in_facts[index]
+            for stmt in cfg.blocks[index].stmts:
+                tainted = {name for name, _ in fact}
+                self._scan(stmt, tainted, seen, ctx)
+                fact = analysis.transfer(fact, stmt)
+
+    def _scan(self, stmt: ast.AST, tainted: set[str], seen: set[int],
+              ctx: FileContext) -> None:
+        def leaks(value: ast.AST | None) -> bool:
+            if value is None:
+                return False
+            if isinstance(value, ast.Name) and value.id in tainted:
+                return True
+            return is_rng_construction(value) and not is_derived_rng(value)
+
+        escapes: list[tuple[ast.AST, str]] = []
+        if isinstance(stmt, ast.Return):
+            if leaks(stmt.value):
+                escapes.append((stmt, "returned"))
+        elif (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, (ast.Yield, ast.YieldFrom))):
+            if leaks(stmt.value.value):
+                escapes.append((stmt, "yielded"))
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if not leaks(stmt.value):
+                    continue
+                if isinstance(target, ast.Subscript):
+                    escapes.append((stmt, "stored into a container"))
+                elif (isinstance(target, ast.Attribute)
+                      and _dotted(target.value) != "self"):
+                    escapes.append((stmt, "stored on a foreign object"))
+        for expr in header_exprs(stmt):
+            for node in ast.walk(expr):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in MUTATOR_METHODS):
+                    values = [*node.args,
+                              *(k.value for k in node.keywords)]
+                    if any(isinstance(a, ast.Name) and a.id in tainted
+                           for a in values):
+                        escapes.append((node, "pushed into a container"))
+        for node, how in escapes:
+            line = getattr(node, "lineno", 1)
+            if line in seen:
+                continue
+            seen.add(line)
+            ctx.report(self, node, (
+                f"RNG stream not obtained via derive_rng is {how} here; "
+                "the receiving context's draws interleave with the "
+                "owner's — derive a child stream per consumer via "
+                "repro.utils.rng.derive_rng"
+            ))
+
+    def check_project(self, model: "ProjectModel", config: RuleConfig,
+                      effects: EffectAnalysis) -> list[Finding]:
+        findings: list[Finding] = []
+        for path in sorted(model.effects):
+            if not model.is_linted(path):
+                continue
+            if config.is_rng_module(path.replace("\\", "/")):
+                continue
+            mod = model.by_path.get(path)
+            if mod is None:
+                continue
+            reachable_users = {
+                func.qualname: sorted(set(func.loaded))
+                for func in mod.functions
+                if effects.is_worker_reachable(path, func.qualname)
+            }
+            for stream in model.effects[path].rng_streams:
+                users = sorted(q for q, loaded in reachable_users.items()
+                               if stream.name in loaded)
+                if len(users) < 2:
+                    continue
+                findings.append(Finding(
+                    path=path, line=stream.line, col=stream.col,
+                    rule=self.code,
+                    message=(
+                        f"module-level RNG stream {stream.name!r} is drawn "
+                        f"from by {len(users)} worker-reachable functions "
+                        f"({', '.join(users[:3])}{'…' if len(users) > 3 else ''}); "
+                        "shards sharing one generator interleave draws — "
+                        "derive a stream per worker via derive_rng"
+                    ),
+                ))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# CONC003 — nondeterministic-iteration
+# ---------------------------------------------------------------------------
+
+
+def _set_like(expr: ast.AST) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        return _dotted(expr.func).rsplit(".", 1)[-1] in ("set", "frozenset")
+    return False
+
+
+class NondeterministicIterationRule(ConcRule):
+    """CONC003 — iteration order of a set must not reach an ordered
+    output.
+
+    ``PYTHONHASHSEED`` varies across worker processes, so two shards
+    iterating equal sets visit different orders.  Harmless when the loop
+    folds into an order-free aggregate; a replay-breaking divergence
+    when the order flows into a returned list, an emitted event, or a
+    frontier/ledger write.  The taint half tracks set-valued names
+    (constructors, literals, aliases); any ``for`` over one marks its
+    loop targets order-tainted, and a sink inside the loop body —
+    ``return``/``yield`` of a tainted value or an accumulating call
+    taking one — fires.  Iterate ``sorted(...)`` instead.
+    """
+
+    code = "CONC003"
+    name = "nondeterministic-iteration"
+    rationale = ("set iteration order differs across worker processes; "
+                 "sort before the order can reach returned or emitted "
+                 "values")
+
+    def check_function(self, func: ast.AST, cfg: CFG,
+                       ctx: FileContext) -> None:
+        if ctx.is_test_file():
+            return
+        analysis = TaintAnalysis(is_source=_set_like)
+        in_facts, _ = solve_forward(cfg, analysis)
+        seen: set[int] = set()
+        for index in sorted(in_facts):
+            fact = in_facts[index]
+            for stmt in cfg.blocks[index].stmts:
+                if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    tainted = {name for name, _ in fact}
+                    self._check_loop(stmt, tainted, seen, ctx)
+                fact = analysis.transfer(fact, stmt)
+
+    def _check_loop(self, node: ast.AST, tainted: set[str],
+                    seen: set[int], ctx: FileContext) -> None:
+        iter_expr = node.iter
+        over_set = _set_like(iter_expr) or (
+            isinstance(iter_expr, ast.Name) and iter_expr.id in tainted)
+        if not over_set or node.lineno in seen:
+            return
+        loop_names = {n.id for n in ast.walk(node.target)
+                      if isinstance(n, ast.Name)}
+        sink = self._order_sink(node, loop_names)
+        if sink is not None:
+            seen.add(node.lineno)
+            ctx.report(self, sink, (
+                "set iteration order flows into an ordered output "
+                "here; two worker processes visit different orders — "
+                "iterate sorted(...) instead"
+            ))
+
+    def _order_sink(self, loop: ast.AST, loop_names: set[str]):
+        """First statement in the loop body where a loop variable (or a
+        value derived from one by plain aliasing) reaches an ordered
+        output."""
+        derived = set(loop_names)
+        for stmt in ast.walk(loop):
+            if stmt is loop:
+                continue
+            if (isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)):
+                if any(isinstance(n, ast.Name) and n.id in derived
+                       for n in ast.walk(stmt.value)):
+                    derived.add(stmt.targets[0].id)
+            if isinstance(stmt, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = stmt.value
+                if value is not None and any(
+                        isinstance(n, ast.Name) and n.id in derived
+                        for n in ast.walk(value)):
+                    return stmt
+            if (isinstance(stmt, ast.Call)
+                    and isinstance(stmt.func, ast.Attribute)
+                    and stmt.func.attr in ORDER_SINK_METHODS):
+                values = [*stmt.args, *(k.value for k in stmt.keywords)]
+                if any(isinstance(n, ast.Name) and n.id in derived
+                       for v in values for n in ast.walk(v)):
+                    return stmt
+        return None
+
+
+# ---------------------------------------------------------------------------
+# CONC004 — unguarded-global-write
+# ---------------------------------------------------------------------------
+
+
+class UnguardedGlobalWriteRule(ConcRule):
+    """CONC004 — no ``global`` rebinding from worker-reachable code.
+
+    A ``global`` statement followed by a store is the bluntest shared
+    write: every shard sees (and overwrites) the same binding, and the
+    final value depends on worker completion order.  Module-local
+    helpers may still do this behind a lock at import time; anything the
+    campaign scheduler can reach may not.
+    """
+
+    code = "CONC004"
+    name = "unguarded-global-write"
+    rationale = ("a global rebind from worker-reachable code makes the "
+                 "final value depend on shard completion order")
+
+    def check_project(self, model: "ProjectModel", config: RuleConfig,
+                      effects: EffectAnalysis) -> list[Finding]:
+        findings: list[Finding] = []
+        for path, fact, site in _worker_sites(
+                model, effects, frozenset({"global-write"})):
+            findings.append(Finding(
+                path=path, line=site.line, col=site.col, rule=self.code,
+                message=(
+                    f"{fact.qualname}() rebinds global {site.target!r} and "
+                    "is reachable from campaign/core worker entry points; "
+                    "the surviving value depends on shard completion "
+                    "order — return the value or hold it on an object"
+                ),
+            ))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# CONC005 — hidden-io
+# ---------------------------------------------------------------------------
+
+
+class HiddenIoRule(ConcRule):
+    """CONC005 — worker-reachable functions must not take hidden inputs.
+
+    The campaign engine treats worker compute as replayable: same
+    inputs, same outputs, so a shard can be re-run for verification or
+    recovery.  Wall-clock reads, filesystem access and ``os.environ``
+    break that silently — the replay takes a different branch and the
+    certificate's determinism claim is void.  Fires on the *direct* io
+    site (the propagated effect lattice still classifies transitive
+    callers as ``performs-io`` in the certificate, but one finding per
+    concrete site beats one per caller).
+    """
+
+    code = "CONC005"
+    name = "hidden-io"
+    rationale = ("clock/filesystem/environ reads inside replayable "
+                 "worker code desync replays from the recorded run")
+
+    def check_project(self, model: "ProjectModel", config: RuleConfig,
+                      effects: EffectAnalysis) -> list[Finding]:
+        findings: list[Finding] = []
+        for path, fact, site in _worker_sites(
+                model, effects, frozenset({"io"})):
+            findings.append(Finding(
+                path=path, line=site.line, col=site.col, rule=self.code,
+                message=(
+                    f"{fact.qualname}() performs io ({site.target}: "
+                    f"{site.detail}) and is reachable from campaign/core "
+                    "worker entry points; hidden inputs break shard "
+                    "replay — inject the value through parameters"
+                ),
+            ))
+        return findings
+
+
+def default_conc_rules() -> list[ConcRule]:
+    """Fresh instances of the CONC rule family, in catalogue order."""
+    return [
+        SharedMutableReachableRule(),
+        RngStreamEscapeRule(),
+        NondeterministicIterationRule(),
+        UnguardedGlobalWriteRule(),
+        HiddenIoRule(),
+    ]

@@ -1,0 +1,493 @@
+"""Phase 4 substrate: interprocedural effect inference.
+
+The concurrency rules (:mod:`repro.lint.conc_rules`) and the
+shard-safety certificate (:mod:`repro.lint.certificate`) need to know,
+for every function in the project, *what it touches*: nothing (pure),
+module-level state (read or mutated), or the world outside the process
+(clock, filesystem, environment).  This module computes that in the
+same two-step shape DF003 uses:
+
+* the **per-file half** (:func:`collect_effects`) walks one parsed
+  module and records an :class:`EffectFact` per function — its local
+  effect, the concrete :class:`EffectSite` list behind that verdict,
+  and the names it calls — plus the module-level RNG streams CONC002's
+  project half tracks.  Everything is JSON-serialisable so the
+  incremental cache stores it next to ``df_facts``;
+* the **project half** (:func:`propagate_effects`) joins the facts of
+  every module with a name-resolved call graph and runs the effect
+  lattice to fixpoint: a function's effect is the join of its own
+  sites and its callees' effects.  The same closure yields the set of
+  functions *worker-reachable* from the campaign/core entry points —
+  the code the sharded campaign engine will actually run in parallel
+  workers.
+
+Like the rest of the linter the analysis resolves names, not objects:
+a call edge exists from ``f`` to every project function sharing the
+callee's terminal name.  That over-approximates reachability (safe for
+a certificate — unreachable code can only be *mis*classified as
+reachable, never the reverse) while staying deterministic and cheap.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.lint.df_rules import (MUTABLE_CONSTRUCTORS, MUTATOR_METHODS,
+                                 _dotted, _module_mutables, _own_nodes)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.project import ProjectModel
+
+# ---------------------------------------------------------------------------
+# The effect lattice
+# ---------------------------------------------------------------------------
+
+#: Lattice levels, bottom to top.  ``join`` is max-by-rank: a function
+#: that both reads module state and touches the filesystem is classified
+#: by its most serious effect.
+PURE = "pure"
+READS = "reads-module-state"
+MUTATES = "mutates-module-state"
+IO = "performs-io"
+
+EFFECT_RANK: dict[str, int] = {PURE: 0, READS: 1, MUTATES: 2, IO: 3}
+
+#: Packages whose functions the sharded campaign engine runs inside
+#: parallel workers; reachability from here defines "worker-reachable".
+WORKER_ENTRY_PACKAGES: tuple[str, ...] = ("campaign", "core")
+
+
+def join_effects(left: str, right: str) -> str:
+    return left if EFFECT_RANK[left] >= EFFECT_RANK[right] else right
+
+
+# ---------------------------------------------------------------------------
+# Effect-site detection tables
+# ---------------------------------------------------------------------------
+
+#: Dotted call names that read the wall clock, entropy, or process
+#: identity — nondeterministic inputs a replayable worker must not take
+#: (the DET002 family, seen interprocedurally).
+CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.perf_counter",
+    "time.process_time", "datetime.now", "datetime.utcnow",
+    "datetime.today", "date.today", "os.urandom", "uuid.uuid1",
+    "uuid.uuid4", "os.getpid",
+})
+
+#: Dotted call names that touch the filesystem or process environment.
+FS_CALLS = frozenset({
+    "os.remove", "os.unlink", "os.makedirs", "os.mkdir", "os.rename",
+    "os.replace", "os.rmdir", "os.listdir", "os.getenv",
+    "shutil.rmtree", "shutil.copy", "shutil.copytree", "shutil.move",
+    "tempfile.mkdtemp", "tempfile.mkstemp",
+})
+
+#: Bare or terminal call names that open/print regardless of receiver.
+#: Deliberately narrow — ``replace``/``rename`` style names collide
+#: with string/datetime methods, so only Path/file-specific method
+#: names appear here.
+IO_HEADS = frozenset({
+    "open", "print", "input", "write_text", "read_text", "write_bytes",
+    "read_bytes", "mkdir", "unlink", "rmdir", "touch",
+})
+
+#: RNG stream constructors (terminal call names).  ``derive_rng`` is the
+#: sanctioned one; the rest establish a stream CONC002 must see owned.
+RNG_CONSTRUCTORS = frozenset({"Random", "default_rng", "RandomState",
+                              "SystemRandom"})
+DERIVED_CONSTRUCTORS = frozenset({"derive_rng"})
+
+
+def is_rng_construction(expr: ast.AST) -> bool:
+    """``random.Random(...)`` / ``np.random.default_rng(...)`` /
+    ``derive_rng(...)`` — any expression that mints an RNG stream."""
+    if not isinstance(expr, ast.Call):
+        return False
+    head = _dotted(expr.func).rsplit(".", 1)[-1]
+    return head in RNG_CONSTRUCTORS or head in DERIVED_CONSTRUCTORS
+
+
+def is_derived_rng(expr: ast.AST) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    return _dotted(expr.func).rsplit(".", 1)[-1] in DERIVED_CONSTRUCTORS
+
+
+# ---------------------------------------------------------------------------
+# Serialisable facts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """One concrete reason a function is not pure."""
+
+    kind: str    # "read" | "mutate" | "global-write" | "io"
+    target: str  # the module-level name, or the dotted call for io
+    line: int
+    col: int
+    detail: str  # human-readable, e.g. ".append()" or "wall clock"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "target": self.target, "line": self.line,
+                "col": self.col, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EffectSite":
+        return cls(kind=data["kind"], target=data["target"],
+                   line=data["line"], col=data["col"], detail=data["detail"])
+
+
+@dataclass(frozen=True)
+class EffectFact:
+    """Per-function effect summary, cached alongside ``df_facts``."""
+
+    qualname: str
+    line: int
+    local_effect: str            # join of the sites alone, callees excluded
+    sites: tuple[EffectSite, ...]
+    callees: tuple[str, ...]     # terminal names of every called target
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"qualname": self.qualname, "line": self.line,
+                "local_effect": self.local_effect,
+                "sites": [s.to_dict() for s in self.sites],
+                "callees": list(self.callees)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EffectFact":
+        return cls(qualname=data["qualname"], line=data["line"],
+                   local_effect=data["local_effect"],
+                   sites=tuple(EffectSite.from_dict(s)
+                               for s in data["sites"]),
+                   callees=tuple(data["callees"]))
+
+
+@dataclass(frozen=True)
+class RngStreamFact:
+    """A module-level RNG stream (CONC002's shared-stream half)."""
+
+    name: str
+    line: int
+    col: int
+    via_derive: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "line": self.line, "col": self.col,
+                "via_derive": self.via_derive}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RngStreamFact":
+        return cls(name=data["name"], line=data["line"], col=data["col"],
+                   via_derive=data["via_derive"])
+
+
+@dataclass
+class ModuleEffects:
+    """Everything phase 4 extracts from one file (cache unit)."""
+
+    functions: list[EffectFact] = field(default_factory=list)
+    rng_streams: list[RngStreamFact] = field(default_factory=list)
+    #: Module-level mutable names (the read/mutate targets' universe).
+    mutables: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"functions": [f.to_dict() for f in self.functions],
+                "rng_streams": [r.to_dict() for r in self.rng_streams],
+                "mutables": list(self.mutables)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ModuleEffects":
+        return cls(
+            functions=[EffectFact.from_dict(f) for f in data["functions"]],
+            rng_streams=[RngStreamFact.from_dict(r)
+                         for r in data["rng_streams"]],
+            mutables=tuple(data["mutables"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The per-file half
+# ---------------------------------------------------------------------------
+
+
+def _io_site(node: ast.Call) -> EffectSite | None:
+    dotted = _dotted(node.func)
+    tail = dotted.rsplit(".", 1)[-1]
+    two = ".".join(dotted.split(".")[-2:]) if "." in dotted else dotted
+    if two in CLOCK_CALLS or dotted in CLOCK_CALLS:
+        return EffectSite(kind="io", target=two, line=node.lineno,
+                          col=node.col_offset, detail="wall clock / entropy")
+    if two in FS_CALLS or dotted in FS_CALLS:
+        return EffectSite(kind="io", target=two, line=node.lineno,
+                          col=node.col_offset, detail="filesystem / env")
+    if tail in IO_HEADS:
+        return EffectSite(kind="io", target=dotted or tail,
+                          line=node.lineno, col=node.col_offset,
+                          detail="filesystem / console")
+    return None
+
+
+def _environ_site(node: ast.Attribute) -> EffectSite | None:
+    if _dotted(node) == "os.environ":
+        return EffectSite(kind="io", target="os.environ", line=node.lineno,
+                          col=node.col_offset, detail="process environment")
+    return None
+
+
+class _FunctionWalker(ast.NodeVisitor):
+    """Collect (qualname, node) for every def, mirroring DF003's walk."""
+
+    def __init__(self) -> None:
+        self.functions: list[tuple[str, ast.AST]] = []
+        self._scope: list[str] = []
+
+    def _handle(self, node: ast.AST) -> None:
+        qualname = ".".join([*self._scope, node.name])
+        self.functions.append((qualname, node))
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    visit_FunctionDef = _handle
+    visit_AsyncFunctionDef = _handle
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+
+def _function_effect_fact(qualname: str, func: ast.AST,
+                          mutables: set[str]) -> EffectFact:
+    own = list(_own_nodes(func))
+    declared_global: set[str] = set()
+    bound: set[str] = {a.arg for a in ast.walk(func.args)  # type: ignore[attr-defined]
+                       if isinstance(a, ast.arg)}
+    for node in own:
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+    bound -= declared_global
+
+    sites: list[EffectSite] = []
+    callees: set[str] = set()
+    for node in own:
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted:
+                callees.add(dotted.rsplit(".", 1)[-1])
+            io = _io_site(node)
+            if io is not None:
+                sites.append(io)
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in MUTATOR_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in mutables
+                    and node.func.value.id not in bound):
+                sites.append(EffectSite(
+                    kind="mutate", target=node.func.value.id,
+                    line=node.lineno, col=node.col_offset,
+                    detail=f".{node.func.attr}()",
+                ))
+        elif isinstance(node, ast.Attribute):
+            env = _environ_site(node)
+            if env is not None:
+                sites.append(env)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id in mutables and node.id not in bound:
+                sites.append(EffectSite(
+                    kind="read", target=node.id, line=node.lineno,
+                    col=node.col_offset, detail="module-state read",
+                ))
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in mutables
+                        and target.value.id not in bound):
+                    sites.append(EffectSite(
+                        kind="mutate", target=target.value.id,
+                        line=node.lineno, col=node.col_offset,
+                        detail="subscript store",
+                    ))
+                elif (isinstance(target, ast.Name)
+                      and target.id in declared_global):
+                    sites.append(EffectSite(
+                        kind="global-write", target=target.id,
+                        line=node.lineno, col=node.col_offset,
+                        detail="global rebind",
+                    ))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in mutables
+                        and target.value.id not in bound):
+                    sites.append(EffectSite(
+                        kind="mutate", target=target.value.id,
+                        line=node.lineno, col=node.col_offset,
+                        detail="subscript delete",
+                    ))
+
+    # A mutator call's receiver Name also surfaces as a Load — drop the
+    # shadow "read" so one mutation yields one site, not two.
+    mutated_at = {(s.target, s.line) for s in sites if s.kind == "mutate"}
+    sites = [s for s in sites
+             if not (s.kind == "read" and (s.target, s.line) in mutated_at)]
+
+    local = PURE
+    for site in sites:
+        if site.kind == "io":
+            local = join_effects(local, IO)
+        elif site.kind in ("mutate", "global-write"):
+            local = join_effects(local, MUTATES)
+        else:
+            local = join_effects(local, READS)
+    deduped = sorted(set(sites), key=lambda s: (s.line, s.col, s.kind,
+                                                s.target))
+    return EffectFact(
+        qualname=qualname,
+        line=getattr(func, "lineno", 1),
+        local_effect=local,
+        sites=tuple(deduped),
+        callees=tuple(sorted(callees)),
+    )
+
+
+def _module_rng_streams(tree: ast.Module) -> list[RngStreamFact]:
+    streams: list[RngStreamFact] = []
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None or not is_rng_construction(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                streams.append(RngStreamFact(
+                    name=target.id, line=stmt.lineno, col=stmt.col_offset,
+                    via_derive=is_derived_rng(value),
+                ))
+    return streams
+
+
+def collect_effects(tree: ast.Module) -> ModuleEffects:
+    """The per-file half: one :class:`EffectFact` per function."""
+    mutables = _module_mutables(tree)
+    walker = _FunctionWalker()
+    walker.visit(tree)
+    facts = [_function_effect_fact(qualname, func, mutables)
+             for qualname, func in walker.functions]
+    return ModuleEffects(
+        functions=facts,
+        rng_streams=_module_rng_streams(tree),
+        mutables=tuple(sorted(mutables)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The project half
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EffectAnalysis:
+    """Fixpoint result over the whole project."""
+
+    #: (path, qualname) -> propagated effect (callees joined in).
+    effects: dict[tuple[str, str], str]
+    #: Functions reachable from campaign/core worker entry points.
+    worker_reachable: frozenset[tuple[str, str]]
+    #: (path, qualname) -> the underlying per-function fact.
+    facts: dict[tuple[str, str], EffectFact]
+    #: (path, mutable name) pairs some function body actually mutates —
+    #: the "contested" module state CONC001 cares about.
+    contested: frozenset[tuple[str, str]]
+
+    def effect_of(self, path: str, qualname: str) -> str:
+        return self.effects.get((path, qualname), PURE)
+
+    def is_worker_reachable(self, path: str, qualname: str) -> bool:
+        return (path, qualname) in self.worker_reachable
+
+
+def _package_of(model: "ProjectModel", path: str) -> str:
+    mod = model.by_path.get(path)
+    return mod.package if mod is not None else ""
+
+
+def propagate_effects(model: "ProjectModel") -> EffectAnalysis:
+    """Run the effect lattice and worker-reachability to fixpoint."""
+    facts: dict[tuple[str, str], EffectFact] = {}
+    by_name: dict[str, list[tuple[str, str]]] = {}
+    contested: set[tuple[str, str]] = set()
+    for path in sorted(model.effects):
+        module_effects = model.effects[path]
+        for fact in module_effects.functions:
+            key = (path, fact.qualname)
+            facts[key] = fact
+            by_name.setdefault(fact.qualname.rsplit(".", 1)[-1],
+                               []).append(key)
+            for site in fact.sites:
+                if site.kind in ("mutate", "global-write"):
+                    contested.add((path, site.target))
+
+    # Effect fixpoint: effects only climb a 4-level lattice, so simple
+    # round-robin iteration terminates quickly and deterministically.
+    effects = {key: fact.local_effect for key, fact in facts.items()}
+    ordered = sorted(facts)
+    changed = True
+    while changed:
+        changed = False
+        for key in ordered:
+            current = effects[key]
+            for callee in facts[key].callees:
+                for target in by_name.get(callee, ()):
+                    current = join_effects(current, effects[target])
+            if current != effects[key]:
+                effects[key] = current
+                changed = True
+
+    # Worker reachability: closure from every function of the entry
+    # packages over the same name-resolved call edges.
+    reachable: set[tuple[str, str]] = set()
+    work: list[tuple[str, str]] = []
+    for key in ordered:
+        if _package_of(model, key[0]) in WORKER_ENTRY_PACKAGES:
+            reachable.add(key)
+            work.append(key)
+    while work:
+        key = work.pop()
+        for callee in facts[key].callees:
+            for target in by_name.get(callee, ()):
+                if target not in reachable:
+                    reachable.add(target)
+                    work.append(target)
+
+    return EffectAnalysis(
+        effects=effects,
+        worker_reachable=frozenset(reachable),
+        facts=facts,
+        contested=frozenset(contested),
+    )
+
+
+def summarize_effects(analysis: EffectAnalysis,
+                      paths: Iterable[str]) -> dict[str, int]:
+    """Effect-level histogram over the functions of ``paths``."""
+    wanted = set(paths)
+    counts = {PURE: 0, READS: 0, MUTATES: 0, IO: 0}
+    for (path, _), effect in analysis.effects.items():
+        if path in wanted:
+            counts[effect] += 1
+    return counts

@@ -244,9 +244,13 @@ class LintRun:
     cache: "CacheStats"
     project: bool
     files: int
-    #: Wall seconds per phase (``per_file`` includes ``dataflow``);
-    #: populated by :meth:`Linter.run` for the ``--stats`` report.
+    #: Wall seconds per phase (``per_file`` includes ``dataflow`` and
+    #: ``effects``); populated by :meth:`Linter.run` for ``--stats``.
     timings: dict[str, float] = field(default_factory=dict)
+    #: Phase-4 fixpoint result (:class:`~repro.lint.effects
+    #: .EffectAnalysis`); only populated on ``project=True`` runs — the
+    #: substrate the shard-safety certificate is built from.
+    effects: "object | None" = None
 
 
 class Linter:
@@ -258,7 +262,9 @@ class Linter:
         rules: Iterable[Rule] | None = None,
         project_rules: "Iterable | None" = None,
         df_rules: "Iterable | None" = None,
+        conc_rules: "Iterable | None" = None,
     ) -> None:
+        from repro.lint.conc_rules import default_conc_rules
         from repro.lint.df_rules import default_df_rules
         from repro.lint.project import default_project_rules
         from repro.lint.rules import default_rules
@@ -269,12 +275,16 @@ class Linter:
                        else default_project_rules())
         all_df = (list(df_rules) if df_rules is not None
                   else default_df_rules())
+        all_conc = (list(conc_rules) if conc_rules is not None
+                    else default_conc_rules())
         known = {rule.code for rule in all_rules}
         known.update(rule.code for rule in all_project)
         known.update(rule.code for rule in all_df)
+        known.update(rule.code for rule in all_conc)
         known.update(rule.code for rule in default_rules())
         known.update(rule.code for rule in default_project_rules())
         known.update(rule.code for rule in default_df_rules())
+        known.update(rule.code for rule in default_conc_rules())
         unknown = set(self.config.disable) - known
         if unknown:
             raise LintUsageError(
@@ -285,7 +295,11 @@ class Linter:
                               if r.code not in self.config.disable]
         self.df_rules = [r for r in all_df
                          if r.code not in self.config.disable]
+        self.conc_rules = [r for r in all_conc
+                           if r.code not in self.config.disable]
         self._df_seconds = 0.0
+        self._effects_seconds = 0.0
+        self._last_effects = None
         self._handlers: dict[str, list[Callable]] = {}
         for rule in self.rules:
             for node_type, handler in rule.handlers().items():
@@ -318,6 +332,7 @@ class Linter:
                           tree=tree)
         _Dispatcher(self._handlers, ctx).visit(tree)
         df_facts = self._run_dataflow(tree, ctx)
+        effect_facts = self._run_effects(tree)
         return CachedFile(
             sha=sha,
             findings=sorted(ctx.findings),
@@ -325,12 +340,14 @@ class Linter:
             symbols=extract_symbols(tree, path),
             noqa=dict(ctx._noqa),
             df_facts=df_facts,
+            effect_facts=effect_facts,
         )
 
     def _run_dataflow(self, tree: ast.AST, ctx: FileContext) -> dict:
         """Phase 3: one CFG per function, every DF rule over each, plus
-        the per-module fact collection DF003's project half consumes."""
-        if not self.df_rules:
+        the per-module fact collection DF003's project half consumes.
+        The CONC rules' per-function halves (phase 4) share the CFGs."""
+        if not self.df_rules and not self.conc_rules:
             return {}
         started = time.perf_counter()
         from repro.lint.cfg import build_cfg, function_defs
@@ -339,6 +356,8 @@ class Linter:
             cfg = build_cfg(func)
             for rule in self.df_rules:
                 rule.check_function(func, cfg, ctx)
+            for rule in self.conc_rules:
+                rule.check_function(func, cfg, ctx)
         df_facts: dict[str, list] = {}
         for rule in self.df_rules:
             facts = rule.collect_module(tree, ctx)
@@ -346,6 +365,17 @@ class Linter:
                 df_facts[rule.code] = facts
         self._df_seconds += time.perf_counter() - started
         return df_facts
+
+    def _run_effects(self, tree: ast.AST):
+        """Phase 4 per-file half: effect sites, callees, RNG streams."""
+        if not self.conc_rules:
+            return None
+        from repro.lint.effects import collect_effects
+
+        started = time.perf_counter()
+        effect_facts = collect_effects(tree)
+        self._effects_seconds += time.perf_counter() - started
+        return effect_facts
 
     # -- entry points ----------------------------------------------------
 
@@ -396,7 +426,8 @@ class Linter:
 
         codes = sorted({r.code for r in self.rules}
                        | {r.code for r in self.project_rules}
-                       | {r.code for r in self.df_rules})
+                       | {r.code for r in self.df_rules}
+                       | {r.code for r in self.conc_rules})
         return "|".join([RULESET_VERSION, ",".join(codes),
                          config_digest(self.config)])
 
@@ -423,6 +454,8 @@ class Linter:
         cache = (LintCache(cache_path, key=self._cache_key())
                  if cache_path is not None else None)
         self._df_seconds = 0.0
+        self._effects_seconds = 0.0
+        self._last_effects = None
         phase_started = time.perf_counter()
 
         def analyze_file(file: Path):
@@ -458,11 +491,12 @@ class Linter:
         timings = {
             "per_file": per_file_seconds,
             "dataflow": self._df_seconds,
+            "effects": self._effects_seconds,
             "project": project_seconds,
         }
         return LintRun(findings=sorted(findings), cache=stats,
                        project=project, files=len(results),
-                       timings=timings)
+                       timings=timings, effects=self._last_effects)
 
     def _run_project_phase(
         self,
@@ -502,9 +536,21 @@ class Linter:
 
         df_facts = {path: result.df_facts for path, result in results.items()
                     if result.df_facts}
+        effect_facts = {path: result.effect_facts
+                        for path, result in results.items()
+                        if result.effect_facts is not None}
         model = build_project(symbols, linted_paths=results.keys(),
                               noqa=noqa, suppressed=suppressed,
-                              df_facts=df_facts)
+                              df_facts=df_facts, effects=effect_facts)
+
+        analysis = None
+        if self.conc_rules:
+            from repro.lint.effects import propagate_effects
+
+            started = time.perf_counter()
+            analysis = propagate_effects(model)
+            self._effects_seconds += time.perf_counter() - started
+            self._last_effects = analysis
 
         findings: list[Finding] = []
         deferred = [r for r in self.project_rules
@@ -512,6 +558,11 @@ class Linter:
         checks = [rule.check for rule in self.project_rules
                   if not isinstance(rule, UnusedNoqaRule)]
         checks.extend(rule.check_project for rule in self.df_rules)
+        if analysis is not None:
+            checks.extend(
+                (lambda m, c, _rule=rule: _rule.check_project(m, c, analysis))
+                for rule in self.conc_rules
+            )
         for check in checks:
             for finding in check(model, self.config):
                 codes = noqa.get(finding.path, {}).get(finding.line, False)

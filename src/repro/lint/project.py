@@ -61,6 +61,10 @@ class ProjectModel:
     #: consumed by the DF rules' project halves (e.g. DF003 joins its
     #: mutation facts with the call graph here).
     df_facts: dict[str, dict[str, list]] = field(default_factory=dict)
+    #: path -> per-file effect facts from phase 4
+    #: (:class:`~repro.lint.effects.ModuleEffects`); consumed by
+    #: :func:`repro.lint.effects.propagate_effects` and the CONC rules.
+    effects: dict[str, object] = field(default_factory=dict)
 
     def is_linted(self, path: str) -> bool:
         return path in self.linted_paths
@@ -98,6 +102,7 @@ def build_project(
     noqa: dict[str, dict[int, frozenset[str] | None]],
     suppressed: dict[str, dict[int, set[str]]],
     df_facts: dict[str, dict[str, list]] | None = None,
+    effects: dict[str, object] | None = None,
 ) -> ProjectModel:
     """Assemble the project model (import graph included) from phase 1."""
     modules: dict[str, ModuleSymbols] = {}
@@ -129,6 +134,7 @@ def build_project(
         suppressed=suppressed,
         import_graph=graph,
         df_facts=df_facts or {},
+        effects=effects or {},
     )
 
 

@@ -119,3 +119,29 @@ def test_campaign_lower_bounds_property():
         assert report.makespan_seconds <= report.sequential_seconds + service
 
     check()
+
+
+def test_report_is_identical_under_permuted_workload_order():
+    """The determinism property the shard-safety certificate protects:
+    ``schedule_campaign`` is a pure function of the workload *set* —
+    makespan, per-site finishes and even the float-summed sequential
+    baseline must be bit-identical however the input list is ordered."""
+    from repro.utils.rng import derive_rng
+
+    workloads = [
+        SiteWorkload(site=f"site-{i:02d}", n_requests=5 + (i * 7) % 23,
+                     total_bytes=(i * 131071) % 900_000)
+        for i in range(12)
+    ]
+    baseline = schedule_campaign(workloads, n_workers=3,
+                                 politeness_delay=0.7, service_time=0.03)
+    rng = derive_rng(1234, "campaign", "permutation")
+    for _ in range(5):
+        shuffled = list(workloads)
+        rng.shuffle(shuffled)
+        report = schedule_campaign(shuffled, n_workers=3,
+                                   politeness_delay=0.7, service_time=0.03)
+        assert report.makespan_seconds == baseline.makespan_seconds
+        assert report.sequential_seconds == baseline.sequential_seconds
+        assert report.per_site_finish == baseline.per_site_finish
+        assert report.worker_busy_seconds == baseline.worker_busy_seconds

@@ -23,7 +23,8 @@ def _load():
 def test_workflow_parses_and_declares_all_jobs():
     doc = _load()
     assert set(doc["jobs"]) == {
-        "tests", "lint", "precheck", "bench", "bench-smoke",
+        "tests", "lint", "shard-safety", "precheck", "bench",
+        "bench-smoke",
     }
 
 
@@ -68,7 +69,37 @@ def test_lint_job_archives_report_and_summarises_findings():
                if "upload-artifact" in str(s.get("uses", ""))]
     assert len(uploads) == 1
     assert uploads[0]["if"] == "always()"
-    assert uploads[0]["with"]["path"] == "lint-report.json"
+    assert "lint-report.json" in uploads[0]["with"]["path"]
+
+
+def test_lint_job_renders_and_uploads_sarif():
+    """The same findings go out as SARIF 2.1.0 for code-scanning
+    consumers: rendered even when the lint step failed, never changing
+    the job verdict, and included in the uploaded artifact."""
+    doc = _load()
+    steps = doc["jobs"]["lint"]["steps"]
+    sarif_steps = [s for s in steps
+                   if "--format sarif" in s.get("run", "")]
+    assert len(sarif_steps) == 1
+    step = sarif_steps[0]
+    assert step["if"] == "always()"          # render even after findings
+    assert "|| true" in step["run"]          # but never flip the verdict
+    assert "lint-report.sarif" in step["run"]
+    uploads = [s for s in steps
+               if "upload-artifact" in str(s.get("uses", ""))]
+    assert "lint-report.sarif" in uploads[0]["with"]["path"]
+
+
+def test_shard_safety_job_enforces_certificate_drift_gate():
+    """The shard-safety job regenerates the phase-4 certificate with the
+    cache bypassed and fails on any byte of drift from the committed
+    bench_results/shard_safety.json."""
+    doc = _load()
+    steps = doc["jobs"]["shard-safety"]["steps"]
+    commands = "\n".join(s.get("run", "") for s in steps)
+    assert "--shard-safety repro.campaign" in commands
+    assert "--no-cache" in commands
+    assert "git diff --exit-code bench_results/shard_safety.json" in commands
 
 
 def test_bench_job_always_runs_and_uploads_trajectory_artifact():

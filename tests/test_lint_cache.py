@@ -61,6 +61,40 @@ def test_rule_version_bump_invalidates_everything(tree, tmp_path, monkeypatch):
     assert bumped.cache.misses == bumped.cache.files == 2
 
 
+def test_interpreter_version_is_part_of_the_cache_key(tree, tmp_path,
+                                                      monkeypatch):
+    """A cache written by one Python minor must not serve facts to
+    another — ``ast`` node shapes change across minors, and CI runs the
+    suite on both 3.11 and 3.12 against the same layout."""
+    import repro.lint.cache as cache_module
+
+    assert cache_module.interpreter_tag().startswith("py3.")
+    cache = tmp_path / "cache.json"
+    run(tree, cache)
+    monkeypatch.setattr(cache_module, "interpreter_tag",
+                        lambda: "py3.99")
+    other = run(tree, cache)
+    assert other.cache.hits == 0
+    assert other.cache.misses == other.cache.files == 2
+
+
+def test_cache_preserves_effect_facts(tree, tmp_path):
+    """Phase-4 effect facts survive the cache round-trip, so a warm
+    project run can solve the effect fixpoint without re-parsing."""
+    from repro.lint.cache import LintCache, content_sha
+
+    cache_path = tmp_path / "cache.json"
+    linter = Linter(RuleConfig())
+    linter.run([tree], cache_path=cache_path)
+    store = LintCache(cache_path, key=linter._cache_key())
+    path = str(tree / "dirty.py")
+    entry = store.get(path, content_sha((tree / "dirty.py").read_bytes()))
+    assert entry is not None
+    assert entry.effect_facts is not None
+    fresh = linter._analyze(DIRTY, path, sha=entry.sha)
+    assert entry.effect_facts == fresh.effect_facts
+
+
 def test_config_change_invalidates_everything(tree, tmp_path):
     cache = tmp_path / "cache.json"
     run(tree, cache)

@@ -1,0 +1,423 @@
+"""Phase-4 CONC rule tests: one injected-violation fixture per rule
+(the acceptance bar for the shard-safety analyzer), calibration checks
+for the idioms the rules must NOT flag, and the certificate's
+determinism/digest contract."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.lint import (Finding, Linter, RuleConfig, build_certificate,
+                        certificate_digest, default_conc_rules,
+                        render_certificate)
+
+CONC_CODES = {rule.code for rule in default_conc_rules()}
+
+#: Package scaffolding shared by every injected fixture.
+SCAFFOLD = {
+    "src/repro/__init__.py": "",
+    "src/repro/campaign/__init__.py": "",
+}
+
+
+def project_run(tmp_path, tree: dict[str, str]):
+    for rel, content in {**SCAFFOLD, **tree}.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    return Linter(RuleConfig()).run([tmp_path / "src/repro"], project=True)
+
+
+def conc_findings(tmp_path, tree: dict[str, str]) -> list[Finding]:
+    run = project_run(tmp_path, tree)
+    return [f for f in run.findings if f.rule in CONC_CODES]
+
+
+def lint(source: str, path: str = "src/repro/campaign/mod.py"):
+    return Linter(RuleConfig()).check_source(
+        textwrap.dedent(source), path=path
+    )
+
+
+def only(findings, code):
+    return [f for f in findings if f.rule == code]
+
+
+# ---------------------------------------------------------------------------
+# The rule family
+# ---------------------------------------------------------------------------
+
+
+def test_conc_catalogue_is_stable():
+    rules = default_conc_rules()
+    assert [r.code for r in rules] == [
+        "CONC001", "CONC002", "CONC003", "CONC004", "CONC005",
+    ]
+    assert all(r.name and r.rationale for r in rules)
+
+
+# ---------------------------------------------------------------------------
+# CONC001 — shared-mutable-reachable
+# ---------------------------------------------------------------------------
+
+
+def test_injected_conc001_mutation_is_caught(tmp_path):
+    findings = only(conc_findings(tmp_path, {
+        "src/repro/campaign/engine.py": """
+            _SEEN = {}
+
+            def run_shard(site):
+                _SEEN[site] = True
+                return site
+        """,
+    }), "CONC001")
+    assert len(findings) == 1
+    assert findings[0].line == 5
+    assert "run_shard" in findings[0].message
+    assert "_SEEN" in findings[0].message
+
+
+def test_conc001_flags_reads_of_contested_state_only(tmp_path):
+    findings = only(conc_findings(tmp_path, {
+        "src/repro/campaign/engine.py": """
+            _HOT = {}
+            FROZEN = {"a": 1}
+
+            def warm(key, value):
+                _HOT[key] = value
+
+            def read_hot(key):
+                return _HOT.get(key)
+
+            def read_frozen(key):
+                return FROZEN.get(key)
+        """,
+    }), "CONC001")
+    lines = sorted(f.line for f in findings)
+    assert lines == [6, 9]  # the mutation and the contested read
+    assert all("read_frozen" not in f.message for f in findings)
+
+
+def test_conc001_ignores_unreachable_mutations(tmp_path):
+    findings = only(conc_findings(tmp_path, {
+        "src/repro/analysis/__init__.py": "",
+        "src/repro/analysis/offline.py": """
+            _MEMO = {}
+
+            def memoize_result(key, value):
+                _MEMO[key] = value
+        """,
+    }), "CONC001")
+    assert findings == []  # analysis/ is not a worker entry package
+
+
+# ---------------------------------------------------------------------------
+# CONC002 — rng-stream-escape
+# ---------------------------------------------------------------------------
+
+
+def test_injected_conc002_escape_is_caught():
+    findings = only(lint("""
+        import random
+
+        def make_stream(seed):
+            rng = random.Random(seed)
+            return rng
+    """), "CONC002")
+    assert len(findings) == 1
+    assert findings[0].line == 6
+    assert "derive_rng" in findings[0].message
+
+
+def test_conc002_self_attribute_store_is_ownership_not_escape():
+    assert only(lint("""
+        import random
+
+        class Crawler:
+            def __init__(self, seed):
+                self._rng = random.Random(seed)
+    """), "CONC002") == []
+
+
+def test_conc002_derive_rng_construction_is_sanctioned():
+    assert only(lint("""
+        from repro.utils.rng import derive_rng
+
+        def make_stream(seed):
+            return derive_rng(seed, "campaign")
+    """), "CONC002") == []
+
+
+def test_conc002_container_push_is_an_escape():
+    findings = only(lint("""
+        import random
+
+        def pool(seeds, registry):
+            for seed in seeds:
+                rng = random.Random(seed)
+                registry.append(rng)
+    """), "CONC002")
+    assert len(findings) == 1
+
+
+def test_injected_conc002_shared_module_stream_is_caught(tmp_path):
+    findings = only(conc_findings(tmp_path, {
+        "src/repro/campaign/engine.py": """
+            import random
+
+            _RNG = random.Random(7)
+
+            def jitter_a():
+                return _RNG.random()
+
+            def jitter_b():
+                return _RNG.random()
+        """,
+    }), "CONC002")
+    assert len(findings) == 1
+    assert findings[0].line == 4  # anchored at the stream assignment
+    assert "jitter_a" in findings[0].message
+
+
+def test_conc002_single_consumer_module_stream_is_quiet(tmp_path):
+    findings = only(conc_findings(tmp_path, {
+        "src/repro/campaign/engine.py": """
+            import random
+
+            _RNG = random.Random(7)
+
+            def jitter():
+                return _RNG.random()
+        """,
+    }), "CONC002")
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# CONC003 — nondeterministic-iteration
+# ---------------------------------------------------------------------------
+
+
+def test_injected_conc003_set_order_into_output_is_caught():
+    findings = only(lint("""
+        def order(urls):
+            pending = set(urls)
+            out = []
+            for u in pending:
+                out.append(u)
+            return out
+    """), "CONC003")
+    assert len(findings) == 1
+    assert "sorted" in findings[0].message
+
+
+def test_conc003_order_free_aggregation_is_quiet():
+    assert only(lint("""
+        def total(urls):
+            pending = set(urls)
+            count = 0
+            for u in pending:
+                count += len(u)
+            return count
+    """), "CONC003") == []
+
+
+def test_conc003_sorted_iteration_is_quiet():
+    assert only(lint("""
+        def order(urls):
+            pending = set(urls)
+            out = []
+            for u in sorted(pending):
+                out.append(u)
+            return out
+    """), "CONC003") == []
+
+
+def test_conc003_yield_of_loop_variable_fires():
+    findings = only(lint("""
+        def emit(tags):
+            for tag in {t.lower() for t in tags}:
+                yield tag
+    """), "CONC003")
+    assert len(findings) == 1
+
+
+# ---------------------------------------------------------------------------
+# CONC004 — unguarded-global-write
+# ---------------------------------------------------------------------------
+
+
+def test_injected_conc004_global_write_is_caught(tmp_path):
+    findings = only(conc_findings(tmp_path, {
+        "src/repro/campaign/engine.py": """
+            _TOTAL = 0
+
+            def bump(n):
+                global _TOTAL
+                _TOTAL = _TOTAL + n
+        """,
+    }), "CONC004")
+    assert len(findings) == 1
+    assert findings[0].line == 6
+    assert "_TOTAL" in findings[0].message
+
+
+def test_conc004_unreachable_global_write_is_quiet(tmp_path):
+    findings = only(conc_findings(tmp_path, {
+        "src/repro/analysis/__init__.py": "",
+        "src/repro/analysis/tally.py": """
+            _TOTAL = 0
+
+            def bump(n):
+                global _TOTAL
+                _TOTAL = _TOTAL + n
+        """,
+    }), "CONC004")
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# CONC005 — hidden-io
+# ---------------------------------------------------------------------------
+
+
+def test_injected_conc005_wall_clock_is_caught(tmp_path):
+    findings = only(conc_findings(tmp_path, {
+        "src/repro/campaign/engine.py": """
+            import time
+
+            def stamp(event):
+                return (event, time.time())
+        """,
+    }), "CONC005")
+    assert len(findings) == 1
+    assert findings[0].line == 5
+    assert "stamp" in findings[0].message
+
+
+def test_injected_conc005_filesystem_and_environ_are_caught(tmp_path):
+    findings = only(conc_findings(tmp_path, {
+        "src/repro/campaign/engine.py": """
+            import os
+
+            def read_cfg(path):
+                return open(path).read()
+
+            def api_key():
+                return os.environ["REPRO_KEY"]
+        """,
+    }), "CONC005")
+    assert len(findings) == 2
+
+
+def test_conc005_io_outside_the_worker_surface_is_quiet(tmp_path):
+    findings = only(conc_findings(tmp_path, {
+        "src/repro/analysis/__init__.py": "",
+        "src/repro/analysis/report.py": """
+            def dump(path, payload):
+                with open(path, "w") as fh:
+                    fh.write(payload)
+        """,
+    }), "CONC005")
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Suppression parity
+# ---------------------------------------------------------------------------
+
+
+def test_conc_findings_respect_noqa_markers(tmp_path):
+    findings = only(conc_findings(tmp_path, {
+        "src/repro/campaign/engine.py": """
+            _SEEN = {}
+
+            def run_shard(site):
+                _SEEN[site] = True  # repro: noqa[CONC001] single-process only
+                return site
+        """,
+    }), "CONC001")
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# The certificate
+# ---------------------------------------------------------------------------
+
+
+def test_certificate_is_deterministic_and_digest_sealed(tmp_path):
+    tree = {
+        "src/repro/campaign/engine.py": """
+            def run_shard(site):
+                return site
+        """,
+    }
+    docs = []
+    for _ in range(2):
+        run = project_run(tmp_path, tree)
+        docs.append(build_certificate(run, "repro.campaign"))
+    assert render_certificate(docs[0]) == render_certificate(docs[1])
+    assert docs[0]["digest"] == certificate_digest(docs[0])
+    assert docs[0]["summary"]["safe"] is True
+    assert all(entry["verdict"] == "pass"
+               for entry in docs[0]["rules"].values())
+
+
+def test_certificate_goes_unsafe_on_violations(tmp_path):
+    run = project_run(tmp_path, {
+        "src/repro/campaign/engine.py": """
+            import time
+
+            def stamp(event):
+                return (event, time.time())
+        """,
+    })
+    doc = build_certificate(run, "repro.campaign")
+    assert doc["summary"]["safe"] is False
+    assert doc["rules"]["CONC005"]["verdict"] == "fail"
+    assert doc["findings"][0]["path"].startswith("src/")  # repo-relative
+
+
+def test_certificate_symbols_cover_the_target_package(tmp_path):
+    run = project_run(tmp_path, {
+        "src/repro/campaign/engine.py": """
+            _STATE = {}
+
+            def pure_fn(x):
+                return x
+
+            def writer(k, v):
+                _STATE[k] = v
+        """,
+    })
+    doc = build_certificate(run, "repro.campaign")
+    by_name = {s["qualname"]: s for s in doc["symbols"]}
+    assert by_name["pure_fn"]["effect"] == "pure"
+    assert by_name["writer"]["effect"] == "mutates-module-state"
+    assert by_name["writer"]["worker_reachable"] is True
+
+
+def test_committed_certificate_matches_regeneration():
+    """The committed bench_results/shard_safety.json must be exactly
+    what a fresh run over the tree emits — same contract CI enforces
+    via the shard-safety job, kept here so drift fails locally first."""
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parent.parent
+    committed_path = repo / "bench_results" / "shard_safety.json"
+    assert committed_path.exists(), "committed certificate missing"
+    committed = json.loads(committed_path.read_text(encoding="utf-8"))
+    assert committed["digest"] == certificate_digest(committed)
+
+    run = Linter(RuleConfig()).run(
+        [repo / "src" / "repro"], project=True,
+        reference_roots=[repo / name for name in
+                         ("src", "tests", "examples", "benchmarks")],
+    )
+    regenerated = build_certificate(run, "repro.campaign")
+    assert regenerated["digest"] == committed["digest"], (
+        "shard-safety certificate drift: regenerate with "
+        "python -m repro.lint --shard-safety repro.campaign --no-cache "
+        "src/repro"
+    )

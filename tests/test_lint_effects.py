@@ -1,0 +1,260 @@
+"""Phase-4 substrate tests: per-file effect collection, the lattice
+join, the interprocedural fixpoint, worker reachability, and the cache
+round-trip of the serialisable facts."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint import RuleConfig, build_project, collect_effects
+from repro.lint.effects import (IO, MUTATES, PURE, READS, EffectFact,
+                                ModuleEffects, join_effects,
+                                propagate_effects, summarize_effects)
+from repro.lint.symbols import extract_symbols
+
+
+def effects_of(source: str) -> ModuleEffects:
+    return collect_effects(ast.parse(textwrap.dedent(source)))
+
+
+def fact(effects: ModuleEffects, qualname: str) -> EffectFact:
+    return next(f for f in effects.functions if f.qualname == qualname)
+
+
+# ---------------------------------------------------------------------------
+# The lattice
+# ---------------------------------------------------------------------------
+
+
+def test_join_is_max_by_rank():
+    assert join_effects(PURE, READS) == READS
+    assert join_effects(MUTATES, READS) == MUTATES
+    assert join_effects(IO, MUTATES) == IO
+    assert join_effects(PURE, PURE) == PURE
+
+
+# ---------------------------------------------------------------------------
+# Per-file collection
+# ---------------------------------------------------------------------------
+
+
+def test_pure_function_has_no_sites():
+    f = fact(effects_of("""
+        def add(a, b):
+            return a + b
+    """), "add")
+    assert f.local_effect == PURE
+    assert f.sites == ()
+
+
+def test_module_state_read_and_mutate_classified():
+    effects = effects_of("""
+        _CACHE = {}
+
+        def lookup(key):
+            return _CACHE.get(key)
+
+        def store(key, value):
+            _CACHE[key] = value
+    """)
+    assert effects.mutables == ("_CACHE",)
+    assert fact(effects, "lookup").local_effect == READS
+    store = fact(effects, "store")
+    assert store.local_effect == MUTATES
+    assert [s.kind for s in store.sites] == ["mutate"]
+
+
+def test_local_shadow_is_not_module_state():
+    f = fact(effects_of("""
+        _CACHE = {}
+
+        def isolated():
+            _CACHE = {}
+            _CACHE["k"] = 1
+            return _CACHE
+    """), "isolated")
+    assert f.local_effect == PURE
+
+
+def test_global_rebind_is_a_mutation():
+    f = fact(effects_of("""
+        _TOTAL = []
+
+        def bump(n):
+            global _TOTAL
+            _TOTAL = _TOTAL + [n]
+    """), "bump")
+    assert f.local_effect == MUTATES
+    assert any(s.kind == "global-write" for s in f.sites)
+
+
+def test_io_sites_cover_clock_fs_and_environ():
+    effects = effects_of("""
+        import os
+        import time
+
+        def stamp():
+            return time.time()
+
+        def read_cfg(path):
+            return open(path).read()
+
+        def env():
+            return os.environ["HOME"]
+    """)
+    for name in ("stamp", "read_cfg", "env"):
+        assert fact(effects, name).local_effect == IO, name
+
+
+def test_callees_are_call_heads_only():
+    f = fact(effects_of("""
+        def run(self, item):
+            self.prepare(item)
+            total = helper(item)
+            return total
+    """), "run")
+    assert f.callees == ("helper", "prepare")
+
+
+def test_module_rng_streams_recorded():
+    effects = effects_of("""
+        import random
+        from repro.utils.rng import derive_rng
+
+        _SHARED = random.Random(7)
+        _DERIVED = derive_rng(7, "campaign")
+    """)
+    by_name = {s.name: s for s in effects.rng_streams}
+    assert not by_name["_SHARED"].via_derive
+    assert by_name["_DERIVED"].via_derive
+
+
+def test_effect_facts_roundtrip_through_json_dict():
+    effects = effects_of("""
+        import time
+
+        _CACHE = {}
+
+        def store(k, v):
+            _CACHE[k] = v
+
+        def stamp():
+            return time.time()
+    """)
+    restored = ModuleEffects.from_dict(effects.to_dict())
+    assert restored == effects
+
+
+# ---------------------------------------------------------------------------
+# The project half
+# ---------------------------------------------------------------------------
+
+
+def _model(tmp_path, tree: dict[str, str]):
+    symbols = []
+    effects = {}
+    for rel, content in tree.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        source = textwrap.dedent(content)
+        path.write_text(source, encoding="utf-8")
+        parsed = ast.parse(source)
+        symbols.append(extract_symbols(parsed, str(path)))
+        effects[str(path)] = collect_effects(parsed)
+    return build_project(symbols, linted_paths=effects.keys(), noqa={},
+                         suppressed={}, effects=effects)
+
+
+def test_effects_propagate_through_the_call_graph(tmp_path):
+    model = _model(tmp_path, {
+        "src/repro/campaign/engine.py": """
+            from repro.analysis.helpers import load_table
+
+            def run_shard(site):
+                return load_table(site)
+        """,
+        "src/repro/analysis/helpers.py": """
+            def load_table(site):
+                return open(site).read()
+        """,
+    })
+    analysis = propagate_effects(model)
+    engine = str(tmp_path / "src/repro/campaign/engine.py")
+    helpers = str(tmp_path / "src/repro/analysis/helpers.py")
+    # load_table does io itself; run_shard inherits it transitively.
+    assert analysis.effect_of(helpers, "load_table") == IO
+    assert analysis.effect_of(engine, "run_shard") == IO
+    assert analysis.facts[(engine, "run_shard")].local_effect == PURE
+
+
+def test_worker_reachability_closes_from_entry_packages(tmp_path):
+    model = _model(tmp_path, {
+        "src/repro/campaign/engine.py": """
+            from repro.analysis.helpers import fold
+
+            def run_shard(site):
+                return fold(site)
+        """,
+        "src/repro/analysis/helpers.py": """
+            def fold(x):
+                return x
+
+            def unrelated(x):
+                return x
+        """,
+    })
+    analysis = propagate_effects(model)
+    engine = str(tmp_path / "src/repro/campaign/engine.py")
+    helpers = str(tmp_path / "src/repro/analysis/helpers.py")
+    assert analysis.is_worker_reachable(engine, "run_shard")
+    assert analysis.is_worker_reachable(helpers, "fold")
+    assert not analysis.is_worker_reachable(helpers, "unrelated")
+
+
+def test_contested_targets_need_a_function_body_mutation(tmp_path):
+    model = _model(tmp_path, {
+        "src/repro/analysis/registry.py": """
+            FROZEN = {"a": 1}
+            HOT = {}
+
+            def register(key, value):
+                HOT[key] = value
+        """,
+    })
+    analysis = propagate_effects(model)
+    path = str(tmp_path / "src/repro/analysis/registry.py")
+    assert (path, "HOT") in analysis.contested
+    assert (path, "FROZEN") not in analysis.contested
+
+
+def test_summarize_effects_histograms_selected_paths(tmp_path):
+    model = _model(tmp_path, {
+        "src/repro/campaign/engine.py": """
+            _STATE = {}
+
+            def pure_fn(x):
+                return x
+
+            def writer(k, v):
+                _STATE[k] = v
+        """,
+    })
+    analysis = propagate_effects(model)
+    path = str(tmp_path / "src/repro/campaign/engine.py")
+    counts = summarize_effects(analysis, [path])
+    assert counts[PURE] == 1 and counts[MUTATES] == 1
+
+
+def test_self_tree_effect_analysis_is_green():
+    """The repo's own worker surface must stay io-free and
+    mutation-free — the property the shard-safety certificate commits
+    to."""
+    from repro.lint import Linter
+
+    run = Linter(RuleConfig()).run(["src/repro"], project=True)
+    analysis = run.effects
+    assert analysis is not None
+    assert analysis.worker_reachable, "empty worker surface is a bug"
+    for key in analysis.worker_reachable:
+        assert analysis.effects[key] in (PURE, READS), key

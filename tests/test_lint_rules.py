@@ -62,7 +62,8 @@ def test_det001_function_scope_import_flagged():
             return random.Random(seed)
         """
     )
-    assert codes(findings) == ["DET001"]
+    # The returned non-derive_rng stream is also a CONC002 escape.
+    assert codes(findings) == ["DET001", "CONC002"]
 
 
 def test_det001_rng_module_exempt():
@@ -111,7 +112,8 @@ def test_det003_set_iteration_with_rng_flagged():
                     return url
         """
     )
-    assert codes(findings) == ["DET003"]
+    # Returning the set-ordered loop variable also trips CONC003.
+    assert codes(findings) == ["DET003", "CONC003"]
 
 
 def test_det003_sorted_set_ok():
