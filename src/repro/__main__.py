@@ -6,9 +6,12 @@ Usage::
     python -m repro figure5
     python -m repro all --scale 0.2
     python -m repro bench --seed 7 --report
+    python -m repro campaign --sites be,cl,qa --backend both --scale 0.1
 
 ``bench`` delegates to :mod:`repro.bench` (its own argument set — see
-``python -m repro bench --help`` and docs/performance.md).
+``python -m repro bench --help`` and docs/performance.md); ``campaign``
+runs the sharded campaign engine (docs/campaign.md) with its own
+argument set below.
 """
 
 from __future__ import annotations
@@ -40,6 +43,18 @@ def _figure7(config: ExperimentConfig, cache: ResultCache):
     return compute_figure4(config, cache, sites=remaining)
 
 
+def _campaignmatrix(config: ExperimentConfig, cache: ResultCache):
+    from repro.experiments.campaignmatrix import compute_campaign_matrix
+    from repro.webgraph.sites import PAPER_SITES
+
+    # The CLI verb runs the paper's full 18-site campaign (the
+    # acquisition workload the engine exists for); library callers and
+    # tests pass their own smaller site sets.
+    return compute_campaign_matrix(
+        config, cache, sites=tuple(sorted(PAPER_SITES))
+    )
+
+
 EXPERIMENTS = {
     "table1": lambda config, cache: compute_table1(cache=cache),
     "table2": compute_table2,
@@ -53,7 +68,109 @@ EXPERIMENTS = {
     "figure7": _figure7,
     "figure15": lambda config, cache: compute_figure15("in", config, cache),
     "faultmatrix": compute_fault_matrix,
+    "campaignmatrix": _campaignmatrix,
 }
+
+
+def _campaign_main(argv: list[str]) -> int:
+    """The ``python -m repro campaign`` verb: run the sharded campaign
+    engine end to end (docs/campaign.md).
+
+    ``--backend both`` runs serial then multiprocessing and fails (exit
+    1) unless the two reports are byte-identical — the digest-
+    equivalence check CI's campaign-smoke job relies on.
+    """
+    from repro.campaign import (
+        CampaignSpec,
+        MultiprocessingBackend,
+        SerialBackend,
+        run_campaign,
+    )
+    from repro.webgraph.sites import PAPER_SITES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description="Run a sharded multi-site crawl campaign.",
+    )
+    parser.add_argument(
+        "--sites", default=None, metavar="A,B,C",
+        help="comma-separated site names (default: all 18 paper sites)",
+    )
+    parser.add_argument("--crawler", default="SB-CLASSIFIER",
+                        help="crawler to run on every site")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="site scale factor (default 0.5)")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="per-site request budget (default: none)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="number of per-domain shards (default 4)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker-pool size (default 4)")
+    parser.add_argument(
+        "--backend", choices=("serial", "multiprocessing", "both"),
+        default="serial",
+        help="'both' runs serial + multiprocessing and verifies the "
+             "merged reports are byte-identical",
+    )
+    parser.add_argument("--politeness", type=float, default=1.0,
+                        help="per-site politeness delay, seconds")
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="record per-site JSONL event traces under DIR",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the canonical campaign report as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    sites = (
+        tuple(s for s in args.sites.split(",") if s)
+        if args.sites is not None
+        else tuple(sorted(PAPER_SITES))
+    )
+    if args.trace_dir is not None:
+        from pathlib import Path
+
+        # Workers only open trace files (the directory must exist):
+        # creating it here keeps filesystem setup out of the
+        # shard-safe worker surface (docs/campaign.md).
+        Path(args.trace_dir).mkdir(parents=True, exist_ok=True)
+    spec = CampaignSpec(
+        sites=sites, crawler=args.crawler, seed=args.seed, scale=args.scale,
+        budget=args.budget, n_shards=args.shards, n_workers=args.workers,
+        politeness_delay=args.politeness, trace_dir=args.trace_dir,
+    )
+    backends = {
+        "serial": [SerialBackend()],
+        "multiprocessing": [MultiprocessingBackend(n_workers=args.workers)],
+        "both": [SerialBackend(),
+                 MultiprocessingBackend(n_workers=args.workers)],
+    }[args.backend]
+
+    reports = []
+    for backend in backends:
+        started = time.time()  # repro: noqa[DET002] CLI progress display only
+        report = run_campaign(spec, backend=backend)
+        elapsed = time.time() - started  # repro: noqa[DET002] display only
+        reports.append(report)
+        print(f"[{backend.name} backend: {elapsed:.1f} s]")
+        print(report.render())
+
+    if args.backend == "both":
+        serial_json, mp_json = reports[0].to_json(), reports[1].to_json()
+        if serial_json != mp_json:
+            print("FAIL: serial and multiprocessing reports differ")
+            return 1
+        print(f"OK: backends byte-identical (digest {reports[0].digest})")
+
+    if args.json is not None:
+        from pathlib import Path
+
+        Path(args.json).write_text(reports[0].to_json() + "\n")
+        print(f"[report written to {args.json}]")
+    return 1 if reports[0].partial else 0
 
 
 def _compare(config: ExperimentConfig, cache: ResultCache):
@@ -103,6 +220,9 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.__main__ import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        # Same pattern: the campaign verb owns its argument set.
+        return _campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate a table or figure of the paper.",

@@ -83,6 +83,7 @@ class FrontierCrawler(Crawler):
             visited=visited,
             targets=targets,
             dead_letters=self._dead_letters,
+            info={"ledger": client.ledger.snapshot()},
         )
 
     def _fetch(

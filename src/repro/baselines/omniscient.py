@@ -39,4 +39,5 @@ class OmniscientCrawler(Crawler):
             trace=client.trace,
             visited=visited,
             targets=targets,
+            info={"ledger": client.ledger.snapshot()},
         )

@@ -165,5 +165,6 @@ class TPOffCrawler(Crawler):
             trace=client.trace,
             visited=visited,
             targets=targets,
-            info={"n_groups": actions.n_actions},
+            info={"n_groups": actions.n_actions,
+                  "ledger": client.ledger.snapshot()},
         )

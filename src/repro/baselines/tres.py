@@ -198,5 +198,6 @@ class TresCrawler(Crawler):
             trace=client.trace,
             visited=visited,
             targets=targets,
-            info={"steps": steps},
+            info={"steps": steps,
+                  "ledger": client.ledger.snapshot()},
         )

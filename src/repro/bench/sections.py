@@ -30,7 +30,9 @@ from repro.utils.rng import derive_rng, derive_seed
 
 #: Registry order is report order; docs/performance.md documents each
 #: (gated by tests/test_docs.py).
-SECTION_NAMES: tuple[str, ...] = ("tagpath", "hnsw", "parse", "frontier", "e2e")
+SECTION_NAMES: tuple[str, ...] = (
+    "tagpath", "hnsw", "parse", "frontier", "campaign", "e2e"
+)
 
 #: Site profile the parse and e2e sections crawl.
 DEFAULT_SITE = "ju"
@@ -310,6 +312,46 @@ def bench_frontier(seed: int, scale: float, repeats: int) -> SectionResult:
     )
 
 
+# -- campaign --------------------------------------------------------------
+
+
+def bench_campaign(seed: int, scale: float, repeats: int) -> SectionResult:
+    """The sharded campaign engine, end to end on the serial backend:
+    partition, dispatch, crawl every shard, merge, digest.
+
+    The workload block carries the report digest — the determinism gate
+    then protects the engine's byte-identity contract for free.
+    """
+    from repro.campaign import CampaignSpec, run_campaign
+
+    site_scale = max(0.05, min(1.0, 0.2 * scale))
+    spec = CampaignSpec(
+        sites=("be", "cl", "cn", "qa"), crawler="BFS", seed=seed,
+        scale=site_scale, n_shards=4, n_workers=2,
+    )
+    probe = run_campaign(spec)
+
+    def run(_state: object) -> None:
+        run_campaign(spec)
+
+    timing = time_workload(lambda: None, run, ops=probe.n_requests,
+                           repeats=repeats)
+    return SectionResult(
+        name="campaign",
+        unit="pages/sec",
+        workload={
+            "sites": ",".join(spec.sites),
+            "site_scale": site_scale,
+            "n_shards": probe.n_shards,
+            "n_requests": probe.n_requests,
+            "n_targets": probe.n_targets,
+            "makespan_seconds": round(probe.makespan_seconds, 6),
+            "digest": probe.digest,
+        },
+        timing=timing,
+    )
+
+
 # -- e2e -------------------------------------------------------------------
 
 
@@ -356,6 +398,7 @@ SECTIONS = {
     "hnsw": bench_hnsw,
     "parse": bench_parse,
     "frontier": bench_frontier,
+    "campaign": bench_campaign,
     "e2e": bench_e2e,
 }
 

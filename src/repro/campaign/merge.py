@@ -1,0 +1,268 @@
+"""Merging per-shard outputs into one canonical campaign report.
+
+The merge step is where the engine's determinism contract is settled:
+everything order- or backend-sensitive is normalised here, *after* all
+shards are collected, by one algorithm both backends share —
+
+* per-site rows sort by site name, per-shard rows by shard id;
+* the campaign :class:`~repro.http.ledger.CostLedger` folds site
+  ledgers in sorted-site order, the campaign
+  :class:`~repro.obs.metrics.MetricsRegistry` folds shard registries in
+  sorted-shard order (float addition is not associative, so the fold
+  order is pinned);
+* virtual shard start/finish times come from a post-hoc heap simulation
+  (:func:`assign_virtual_times`) over the engine's seeded dispatch
+  order — a pure function of (durations, order, n_workers), never of
+  which OS process crawled what when.
+
+The result is a :class:`CampaignRunReport` whose canonical JSON (sorted
+keys, compact separators, no backend identity anywhere) hashes to the
+SHA-256 ``digest`` that the backend-equivalence gate compares.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.campaign.partitions import Partition
+from repro.campaign.scheduler import schedule_campaign
+from repro.campaign.workers import ShardOutcome
+from repro.http.ledger import CostLedger
+from repro.obs.metrics import MetricsRegistry
+
+#: canonical-report schema version (bump on any payload shape change)
+SCHEMA_VERSION = 1
+
+
+def assign_virtual_times(
+    dispatch_order: list[int],
+    durations: dict[int, float],
+    n_workers: int,
+) -> dict[int, tuple[float, float]]:
+    """Map each shard to (start, finish) on the virtual politeness clock.
+
+    Greedy list scheduling: shards are taken in dispatch order and each
+    lands on the earliest-free of ``n_workers`` virtual slots (slot
+    index breaks ties, so the assignment is deterministic).  This is
+    the same clock both backends report — wall-clock never enters.
+    """
+    if n_workers <= 0:
+        raise ValueError("need at least one worker")
+    slots = [(0.0, index) for index in range(n_workers)]
+    heapq.heapify(slots)
+    times: dict[int, tuple[float, float]] = {}
+    for shard_id in dispatch_order:
+        free, index = heapq.heappop(slots)
+        finish = free + durations[shard_id]
+        times[shard_id] = (free, finish)
+        heapq.heappush(slots, (finish, index))
+    return times
+
+
+@dataclass
+class CampaignRunReport:
+    """The merged outcome of one campaign run.
+
+    ``to_dict`` is the canonical payload: key order is fixed by
+    ``json.dumps(sort_keys=True)``, row order by the sorts above, and
+    the executing backend's name appears nowhere — so the digest is a
+    pure function of (sites, crawler, seed, scale, budget, sharding,
+    n_workers, politeness_delay).
+    """
+
+    config: dict[str, Any]
+    partitions: list[Partition]
+    site_rows: list[dict[str, Any]]
+    shard_rows: list[dict[str, Any]]
+    ledger: CostLedger
+    metrics: MetricsRegistry
+    makespan_seconds: float
+    sequential_seconds: float
+    partial: bool = False
+    #: dispatch order of shard ids (the seeded interleaving) — recorded
+    #: for replay, and covered by the digest
+    dispatch_order: list[int] = field(default_factory=list)
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.site_rows)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_rows)
+
+    @property
+    def n_requests(self) -> int:
+        return self.ledger.n_requests
+
+    @property
+    def n_targets(self) -> int:
+        return sum(row["n_targets"] for row in self.site_rows)
+
+    @property
+    def speedup(self) -> float:
+        if self.makespan_seconds <= 0:
+            return 1.0
+        return self.sequential_seconds / self.makespan_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "config": self.config,
+            "dispatch_order": list(self.dispatch_order),
+            "partitions": [
+                {"shard_id": p.shard_id, "sites": list(p.sites)}
+                for p in self.partitions
+            ],
+            "sites": self.site_rows,
+            "shards": self.shard_rows,
+            "ledger": {
+                "n_get": self.ledger.n_get,
+                "n_head": self.ledger.n_head,
+                "bytes_total": self.ledger.bytes_total,
+                "bytes_target": self.ledger.bytes_target,
+                "bytes_non_target": self.ledger.bytes_non_target,
+                "n_retries": self.ledger.n_retries,
+                "wait_seconds": self.ledger.wait_seconds,
+            },
+            "metrics": self.metrics.as_dict(),
+            "schedule": {
+                "makespan_seconds": self.makespan_seconds,
+                "sequential_seconds": self.sequential_seconds,
+                "speedup": self.speedup,
+            },
+            "partial": self.partial,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, compact separators — the exact
+        bytes the digest covers."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON — the backend-equivalence
+        witness (docs/campaign.md, "Determinism guarantee")."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def render(self) -> str:
+        """Deterministic text summary for the CLI."""
+        hours = self.makespan_seconds / 3600
+        lines = [
+            f"campaign: {self.n_sites} sites in {self.n_shards} shards, "
+            f"{self.config['n_workers']} workers"
+            + (" [PARTIAL]" if self.partial else ""),
+            f"  requests {self.n_requests}, targets {self.n_targets}, "
+            f"bytes {self.ledger.bytes_total}",
+            f"  virtual makespan {hours:.2f} h "
+            f"(speedup {self.speedup:.2f}x over sequential)",
+        ]
+        for row in self.shard_rows:
+            tag = "" if row["status"] == "completed" else f" [{row['status'].upper()}]"
+            lines.append(
+                f"  shard {row['shard_id']}: {row['n_sites']} sites, "
+                f"{row['n_requests']} requests, {row['n_targets']} targets, "
+                f"t={row['virtual_start']:.0f}..{row['virtual_finish']:.0f}s"
+                + tag
+            )
+        lines.append(f"  digest {self.digest[:16]}…")
+        return "\n".join(lines)
+
+
+def merge_outcomes(
+    outcomes: list[ShardOutcome],
+    partitions: list[Partition],
+    dispatch_order: list[int],
+    config: dict[str, Any],
+    n_workers: int,
+    politeness_delay: float = 1.0,
+) -> CampaignRunReport:
+    """Fold shard outcomes into one :class:`CampaignRunReport`.
+
+    Pure and order-insensitive in ``outcomes`` (they are re-keyed by
+    shard id), so serial and multiprocessing collections merge to the
+    same bytes.
+    """
+    by_shard = {o.shard_id: o for o in outcomes}
+    if set(by_shard) != {p.shard_id for p in partitions}:
+        raise ValueError(
+            "shard outcomes do not match partitions: "
+            f"{sorted(by_shard)} vs {sorted(p.shard_id for p in partitions)}"
+        )
+    partial = any(o.status != "completed" for o in outcomes)
+
+    site_rows: list[dict[str, Any]] = []
+    site_ledgers: list[tuple[str, CostLedger]] = []
+    for partition in sorted(partitions, key=lambda p: p.shard_id):
+        outcome = by_shard[partition.shard_id]
+        for site in outcome.sites:
+            site_rows.append({
+                "site": site.site,
+                "shard_id": partition.shard_id,
+                "seed": site.seed,
+                "n_requests": site.n_requests,
+                "n_targets": site.n_targets,
+                "total_bytes": site.total_bytes,
+                "target_bytes": site.target_bytes,
+                "stopped_early": site.stopped_early,
+                "n_dead_letters": site.n_dead_letters,
+                "trace_digest": site.trace_digest,
+            })
+            site_ledgers.append((site.site, site.ledger))
+    site_rows.sort(key=lambda row: row["site"])
+
+    # Fold ledgers in sorted-site order: wait_seconds is a float sum.
+    ledger = CostLedger()
+    for _, site_ledger in sorted(site_ledgers, key=lambda pair: pair[0]):
+        ledger.merge(site_ledger)
+
+    # Fold metrics in sorted-shard order (same reason).
+    metrics = MetricsRegistry()
+    for shard_id in sorted(by_shard):
+        metrics.merge(by_shard[shard_id].metrics)
+
+    # Virtual clock: each shard's duration is its single-worker makespan
+    # (one worker drives one shard — politeness is shard-local), shards
+    # then pack onto n_workers virtual slots in dispatch order.
+    durations = {}
+    for partition in partitions:
+        outcome = by_shard[partition.shard_id]
+        workloads = [s.workload for s in outcome.sites]
+        durations[partition.shard_id] = schedule_campaign(
+            workloads, n_workers=1, politeness_delay=politeness_delay
+        ).makespan_seconds
+    times = assign_virtual_times(dispatch_order, durations, n_workers)
+
+    shard_rows = []
+    for partition in sorted(partitions, key=lambda p: p.shard_id):
+        outcome = by_shard[partition.shard_id]
+        start, finish = times[partition.shard_id]
+        shard_rows.append({
+            "shard_id": partition.shard_id,
+            "status": outcome.status,
+            "n_sites": partition.n_sites,
+            "n_requests": outcome.n_requests,
+            "n_targets": outcome.n_targets,
+            "virtual_start": start,
+            "virtual_finish": finish,
+        })
+
+    makespan = max((row["virtual_finish"] for row in shard_rows), default=0.0)
+    sequential = sum(durations[shard_id] for shard_id in sorted(durations))
+    return CampaignRunReport(
+        config=config,
+        partitions=sorted(partitions, key=lambda p: p.shard_id),
+        site_rows=site_rows,
+        shard_rows=shard_rows,
+        ledger=ledger,
+        metrics=metrics,
+        makespan_seconds=makespan,
+        sequential_seconds=sequential,
+        partial=partial,
+        dispatch_order=list(dispatch_order),
+    )

@@ -1,0 +1,82 @@
+"""Sharding a campaign's sites into per-domain partitions.
+
+Parallel crawlers shard work *by host* so per-host politeness is a
+local concern: every site lives wholly inside one shard, one worker
+drives one shard at a time, and no two workers can ever alternate
+requests against the same host (Cho & Garcia-Molina 2002; UbiCrawler's
+host-hash assignment).  This module computes that assignment
+deterministically: given site names and optional cost weights, LPT
+(longest-processing-time-first) greedy packing balances expected load
+across shards while keeping the result a pure function of the input
+*set* — permuting the input order changes nothing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One shard's slice of the campaign: a set of whole sites."""
+
+    shard_id: int
+    #: site names, sorted — a shard never splits a site, so per-host
+    #: politeness needs no cross-worker coordination
+    sites: tuple[str, ...]
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.sites)
+
+
+def partition_sites(
+    sites: list[str] | tuple[str, ...],
+    n_shards: int,
+    weights: dict[str, float] | None = None,
+) -> list[Partition]:
+    """Assign each site to exactly one of ``n_shards`` partitions.
+
+    LPT greedy: sites descend by estimated cost (``weights``, default
+    1.0 each) and each lands on the currently lightest shard.  Ties
+    break by site name and then shard id, so the plan is deterministic
+    and permutation-invariant.  Shards left empty (more shards than
+    sites) are dropped; the survivors are re-numbered densely.
+
+    Raises ``ValueError`` on an empty/duplicated site list, a
+    non-positive shard count, or a negative weight.
+    """
+    if n_shards <= 0:
+        raise ValueError("need at least one shard")
+    ordered = sorted(sites)
+    if not ordered:
+        raise ValueError("cannot partition an empty campaign")
+    if len(set(ordered)) != len(ordered):
+        duplicates = sorted({s for s in ordered if ordered.count(s) > 1})
+        raise ValueError(f"duplicate sites in campaign: {duplicates}")
+    weights = weights or {}
+    for site in ordered:
+        if weights.get(site, 1.0) < 0:
+            raise ValueError(f"site {site!r}: negative weight")
+
+    # Heaviest first; name tie-break keeps equal-weight orders stable.
+    by_cost = sorted(ordered, key=lambda s: (-weights.get(s, 1.0), s))
+    #: min-heap of (load, shard_index) — lightest shard wins, index
+    #: tie-break keeps equal loads deterministic.
+    loads = [(0.0, index) for index in range(n_shards)]
+    heapq.heapify(loads)
+    assigned: dict[int, list[str]] = {index: [] for index in range(n_shards)}
+    for site in by_cost:
+        load, index = heapq.heappop(loads)
+        assigned[index].append(site)
+        heapq.heappush(loads, (load + weights.get(site, 1.0), index))
+
+    partitions = []
+    for index in range(n_shards):
+        if assigned[index]:
+            partitions.append(
+                Partition(shard_id=len(partitions),
+                          sites=tuple(sorted(assigned[index])))
+            )
+    return partitions

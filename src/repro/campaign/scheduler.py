@@ -16,6 +16,26 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class TraceLike(Protocol):
+    """What :meth:`SiteWorkload.from_trace` needs from a trace.
+
+    Structurally satisfied by :class:`repro.analysis.trace.CrawlTrace`
+    (attributes or properties both work) and by any recorded-trace
+    stand-in a campaign replay might supply.
+    """
+
+    @property
+    def site(self) -> str: ...
+
+    @property
+    def n_requests(self) -> int: ...
+
+    @property
+    def total_bytes(self) -> int: ...
 
 
 @dataclass(frozen=True)
@@ -27,8 +47,20 @@ class SiteWorkload:
     #: bytes transferred (affects service time via bandwidth)
     total_bytes: int = 0
 
+    def __post_init__(self) -> None:
+        if self.n_requests < 0:
+            raise ValueError(
+                f"site {self.site!r}: n_requests cannot be negative "
+                f"({self.n_requests})"
+            )
+        if self.total_bytes < 0:
+            raise ValueError(
+                f"site {self.site!r}: total_bytes cannot be negative "
+                f"({self.total_bytes})"
+            )
+
     @staticmethod
-    def from_trace(trace) -> "SiteWorkload":
+    def from_trace(trace: TraceLike) -> "SiteWorkload":
         return SiteWorkload(
             site=trace.site,
             n_requests=trace.n_requests,

@@ -223,6 +223,7 @@ class SBCrawler(Crawler):
             stopped_early=stopped_early,
             dead_letters=state.dead_letters,
             info={
+                "ledger": state.client.ledger.snapshot(),
                 "n_actions": state.actions.n_actions,
                 "reward_mean_nonzero": mean,
                 "reward_std_nonzero": std,

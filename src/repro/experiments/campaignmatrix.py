@@ -1,0 +1,196 @@
+"""Campaign matrix: makespan and wall-clock speedup versus worker count.
+
+Exercises the sharded campaign engine (``repro.campaign.engine``) the
+way a data-acquisition team would size a crawl cluster:
+
+* **virtual makespan** — for each crawler, the campaign's shards are
+  crawled once (serial backend) and then re-merged under increasing
+  worker counts; the virtual politeness clock yields the makespan and
+  interleaving speedup each pool size would deliver.  Re-merging is
+  cheap because the virtual times are a post-hoc simulation
+  (:func:`repro.campaign.merge.assign_virtual_times`) — no re-crawling;
+* **wall-clock speedup** — one crawler (the cheapest deterministic one)
+  is additionally re-run under the real multiprocessing backend and the
+  measured serial/parallel elapsed ratio is reported.  This number is
+  *measured, never asserted*: on a single-core box it sits near (or
+  below) 1.0 while multi-core CI shows the real speedup — and the
+  report digests stay byte-identical either way, which is the engine's
+  actual contract.
+
+Everything except the two elapsed-seconds cells is deterministic; the
+digest column lets readers check cross-backend equivalence at a glance.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.campaign.engine import (
+    CampaignSpec,
+    dispatch_order,
+    shard_tasks,
+    site_weights,
+)
+from repro.campaign.merge import merge_outcomes
+from repro.campaign.partitions import partition_sites
+from repro.campaign.workers import MultiprocessingBackend, SerialBackend
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_table
+from repro.experiments.runner import ResultCache
+
+#: Default campaign: the four smallest paper sites — big enough to
+#: interleave meaningfully, small enough for one CLI invocation.
+DEFAULT_CAMPAIGN_SITES: tuple[str, ...] = ("be", "cl", "cn", "qa")
+#: Worker-pool sizes swept by the virtual-makespan table.
+DEFAULT_WORKER_COUNTS: tuple[int, ...] = (1, 2, 4, 8)
+#: Crawlers compared (paper crawler vs cheap baselines).
+DEFAULT_CRAWLERS: tuple[str, ...] = ("SB-CLASSIFIER", "BFS", "RANDOM")
+
+
+@dataclass
+class CampaignMatrixResult:
+    """Makespan/speedup grid plus one measured wall-clock data point."""
+
+    sites: tuple[str, ...]
+    worker_counts: tuple[int, ...]
+    #: crawler -> makespan hours per worker count
+    makespan_hours: dict[str, list[float]]
+    #: crawler -> interleaving speedup per worker count
+    speedups: dict[str, list[float]]
+    #: crawler -> report digest at the largest worker count (digests
+    #: cover n_workers, so each column has its own; one suffices here)
+    digests: dict[str, str]
+    #: measured elapsed seconds: serial vs multiprocessing backend
+    wall_serial_seconds: float
+    wall_mp_seconds: float
+    wall_mp_workers: int
+    wall_crawler: str
+
+    @property
+    def wall_speedup(self) -> float:
+        if self.wall_mp_seconds <= 0:
+            return 1.0
+        return self.wall_serial_seconds / self.wall_mp_seconds
+
+    def render(self) -> str:
+        columns = [f"W={count}" for count in self.worker_counts]
+        rows: list[tuple[str, list[float | None]]] = []
+        for crawler in self.makespan_hours:
+            rows.append(
+                (f"{crawler} makespan (h)", list(self.makespan_hours[crawler]))
+            )
+            rows.append(
+                (f"{crawler} speedup", list(self.speedups[crawler]))
+            )
+        table = render_table(
+            f"Campaign matrix: {len(self.sites)} sites "
+            f"({', '.join(self.sites)})",
+            columns,
+            rows,
+            digits=2,
+        )
+        digest_lines = [
+            f"  {crawler} digest {digest[:16]}…"
+            for crawler, digest in self.digests.items()
+        ]
+        wall = (
+            f"  wall-clock [{self.wall_crawler}]: serial "
+            f"{self.wall_serial_seconds:.1f} s vs {self.wall_mp_workers}-proc "
+            f"{self.wall_mp_seconds:.1f} s -> {self.wall_speedup:.2f}x "
+            f"(machine-dependent; digests above are not)"
+        )
+        return "\n".join([table, *digest_lines, wall])
+
+
+def compute_campaign_matrix(
+    config: ExperimentConfig | None = None,
+    cache: ResultCache | None = None,
+    *,
+    sites: tuple[str, ...] = DEFAULT_CAMPAIGN_SITES,
+    crawlers: tuple[str, ...] = DEFAULT_CRAWLERS,
+    worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS,
+    seed: int = 1,
+    wall_crawler: str = "BFS",
+) -> CampaignMatrixResult:
+    """Crawl each crawler's campaign once, sweep worker counts by
+    re-merging, and measure one real serial-vs-multiprocessing ratio.
+
+    ``cache`` is accepted for driver uniformity but unused: campaign
+    crawls run inside the engine's worker pool, not the shared
+    result cache.
+    """
+    config = config or ExperimentConfig()
+    del cache  # campaign runs happen inside the engine's worker pool
+    n_shards = max(worker_counts)
+
+    makespan_hours: dict[str, list[float]] = {}
+    speedups: dict[str, list[float]] = {}
+    digests: dict[str, str] = {}
+    wall_serial = 0.0
+
+    for crawler in crawlers:
+        spec = CampaignSpec(
+            sites=sites, crawler=crawler, seed=seed, scale=config.scale,
+            n_shards=n_shards, n_workers=max(worker_counts),
+        )
+        partitions = partition_sites(
+            list(spec.sites), spec.n_shards, weights=site_weights(spec.sites)
+        )
+        order = dispatch_order(spec, partitions)
+        tasks = shard_tasks(spec, partitions, order)
+        started = time.perf_counter()
+        outcomes = SerialBackend().run_tasks(tasks)
+        elapsed = time.perf_counter() - started
+        if crawler == wall_crawler:
+            wall_serial = elapsed
+
+        makespan_hours[crawler] = []
+        speedups[crawler] = []
+        for count in worker_counts:
+            report = merge_outcomes(
+                outcomes, partitions, order,
+                config={
+                    "sites": sorted(spec.sites),
+                    "crawler": crawler,
+                    "seed": seed,
+                    "scale": config.scale,
+                    "budget": None,
+                    "n_shards": len(partitions),
+                    "n_workers": count,
+                    "politeness_delay": spec.politeness_delay,
+                },
+                n_workers=count,
+                politeness_delay=spec.politeness_delay,
+            )
+            makespan_hours[crawler].append(report.makespan_seconds / 3600)
+            speedups[crawler].append(report.speedup)
+        digests[crawler] = report.digest
+
+    # The one machine-dependent measurement: same spec, real processes.
+    mp_workers = max(worker_counts)
+    mp_spec = CampaignSpec(
+        sites=sites, crawler=wall_crawler, seed=seed, scale=config.scale,
+        n_shards=n_shards, n_workers=mp_workers,
+    )
+    mp_partitions = partition_sites(
+        list(mp_spec.sites), mp_spec.n_shards,
+        weights=site_weights(mp_spec.sites),
+    )
+    mp_order = dispatch_order(mp_spec, mp_partitions)
+    mp_tasks = shard_tasks(mp_spec, mp_partitions, mp_order)
+    started = time.perf_counter()
+    MultiprocessingBackend(n_workers=mp_workers).run_tasks(mp_tasks)
+    wall_mp = time.perf_counter() - started
+
+    return CampaignMatrixResult(
+        sites=sites,
+        worker_counts=worker_counts,
+        makespan_hours=makespan_hours,
+        speedups=speedups,
+        digests=digests,
+        wall_serial_seconds=wall_serial,
+        wall_mp_seconds=wall_mp,
+        wall_mp_workers=mp_workers,
+        wall_crawler=wall_crawler,
+    )

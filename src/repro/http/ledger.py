@@ -72,6 +72,24 @@ class CostLedger:
             + self.wait_seconds
         )
 
+    def merge(self, other: "CostLedger") -> "CostLedger":
+        """Fold ``other`` into this ledger (campaign shard aggregation).
+
+        The fold is associative and commutative with the fresh ledger as
+        identity, so per-shard ledgers merge losslessly in any grouping
+        — the property the campaign engine's digest contract rests on
+        (tests/test_http_ledger.py asserts it).  Returns ``self`` so
+        folds chain: ``total.merge(a).merge(b)``.
+        """
+        self.n_get += other.n_get
+        self.n_head += other.n_head
+        self.bytes_total += other.bytes_total
+        self.bytes_target += other.bytes_target
+        self.bytes_non_target += other.bytes_non_target
+        self.n_retries += other.n_retries
+        self.wait_seconds += other.wait_seconds
+        return self
+
     def snapshot(self) -> "CostLedger":
         return CostLedger(
             n_get=self.n_get,

@@ -31,6 +31,7 @@ from repro.obs.events import (
     EVENT_TYPES,
     ActionCreated,
     ActionSelected,
+    CampaignMerged,
     ClassifierBatchTrained,
     CrawlEvent,
     EarlyStopTriggered,
@@ -38,6 +39,8 @@ from repro.obs.events import (
     FetchEvent,
     RequestAbandoned,
     RetryScheduled,
+    ShardFinished,
+    ShardStarted,
     TargetFound,
     event_from_dict,
 )
@@ -70,6 +73,9 @@ __all__ = [
     "FaultInjected",
     "RetryScheduled",
     "RequestAbandoned",
+    "ShardStarted",
+    "ShardFinished",
+    "CampaignMerged",
     "EVENT_TYPES",
     "event_from_dict",
     # observer protocol

@@ -197,6 +197,64 @@ class RequestAbandoned(CrawlEvent):
     reason: str        # classification of the final failure
 
 
+@dataclass(frozen=True)
+class ShardStarted(CrawlEvent):
+    """A campaign shard was dispatched to a worker.
+
+    Emitted by ``CampaignEngine`` for every shard, in virtual-clock
+    dispatch order.  Campaign events are a *deterministic record*: the
+    engine replays them after all shards are collected, so serial and
+    multiprocessing backends produce byte-identical campaign streams
+    (docs/campaign.md, "Determinism guarantee").  ``virtual_start`` is
+    the shard's start time on the simulated politeness clock — never
+    wall-clock.
+    """
+
+    kind: ClassVar[str] = "shard_started"
+
+    shard_id: int        # dense shard index (0-based)
+    n_sites: int         # sites assigned to this shard
+    sites: str           # comma-joined site names, sorted
+    virtual_start: float # seconds on the virtual politeness clock
+
+
+@dataclass(frozen=True)
+class ShardFinished(CrawlEvent):
+    """A campaign shard's crawls completed (or were interrupted).
+
+    Emitted by ``CampaignEngine`` after :class:`ShardStarted`, same
+    deterministic replay ordering.  ``status`` is ``"completed"`` or
+    ``"interrupted"`` (graceful-shutdown partial shard).
+    """
+
+    kind: ClassVar[str] = "shard_finished"
+
+    shard_id: int
+    n_requests: int       # requests issued across the shard's sites
+    n_targets: int        # targets retrieved across the shard's sites
+    virtual_finish: float # shard finish time on the virtual clock
+    status: str           # "completed" | "interrupted"
+
+
+@dataclass(frozen=True)
+class CampaignMerged(CrawlEvent):
+    """Per-shard outputs were folded into one campaign report.
+
+    Emitted by ``CampaignEngine`` once per campaign, after the last
+    :class:`ShardFinished`.  ``digest`` is the report's SHA-256 — the
+    value the backend-equivalence gate compares.
+    """
+
+    kind: ClassVar[str] = "campaign_merged"
+
+    n_shards: int
+    n_sites: int
+    n_requests: int        # merged request count (campaign ledger)
+    n_targets: int         # merged distinct-target count
+    makespan_seconds: float  # virtual campaign makespan
+    digest: str            # SHA-256 of the canonical report
+
+
 #: Wire-format registry: kind tag -> event class.
 EVENT_TYPES: dict[str, type[CrawlEvent]] = {
     cls.kind: cls
@@ -210,6 +268,9 @@ EVENT_TYPES: dict[str, type[CrawlEvent]] = {
         FaultInjected,
         RetryScheduled,
         RequestAbandoned,
+        ShardStarted,
+        ShardFinished,
+        CampaignMerged,
     )
 }
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.obs.events import (
     ActionCreated,
     ActionSelected,
+    CampaignMerged,
     ClassifierBatchTrained,
     CrawlEvent,
     EarlyStopTriggered,
@@ -28,6 +29,8 @@ from repro.obs.events import (
     FetchEvent,
     RequestAbandoned,
     RetryScheduled,
+    ShardFinished,
+    ShardStarted,
     TargetFound,
 )
 
@@ -178,6 +181,48 @@ class MetricsRegistry:
                 snapshot[name] = instrument.value
         return snapshot
 
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s instruments into this registry.
+
+        The campaign engine merges per-shard registries into one
+        campaign-level registry with this fold.  Semantics per kind:
+
+        * counters — values add (a campaign counter is the sum of its
+          shards');
+        * gauges — values add: a shard-final gauge is a per-shard level
+          (frontier remaining, actions awake), so the campaign level is
+          their sum;
+        * histograms — bucket counts, totals and observation counts add;
+          both sides must declare identical bucket bounds.
+
+        The fold is associative and commutative with the empty registry
+        as identity (integer counts add exactly; float sums are folded
+        in sorted-name order by the caller), and raises ``TypeError``
+        when ``other`` carries a same-named instrument of a different
+        kind — mirroring the get-or-create contract above.  Returns
+        ``self`` so folds chain.
+        """
+        for name in other.names():
+            theirs = other._instruments[name]
+            if isinstance(theirs, Histogram):
+                mine = self.histogram(name, theirs.buckets, theirs.help)
+                if mine.buckets != theirs.buckets:
+                    raise ValueError(
+                        f"histogram {name!r}: bucket bounds differ "
+                        f"({mine.buckets} vs {theirs.buckets})"
+                    )
+                mine.counts = [
+                    a + b for a, b in zip(mine.counts, theirs.counts)
+                ]
+                mine.total += theirs.total
+                mine.n += theirs.n
+            elif isinstance(theirs, Counter):
+                self.counter(name, theirs.help).inc(theirs.value)
+            else:
+                mine = self.gauge(name, theirs.help)
+                mine.set(mine.value + theirs.value)
+        return self
+
     def render(self) -> str:
         """Deterministic text dump, instruments sorted by name."""
         return "\n".join(
@@ -255,6 +300,15 @@ class MetricsObserver:
             "retry_wait_seconds", RETRY_WAIT_BUCKETS,
             "simulated backoff seconds before each retry",
         )
+        self._shards_started = r.counter(
+            "shards_started", "campaign shards dispatched to workers"
+        )
+        self._shards_finished = r.counter(
+            "shards_finished", "campaign shards that completed their crawls"
+        )
+        self._campaigns = r.counter(
+            "campaigns_merged", "campaign reports merged from shard outputs"
+        )
         self._last_target_ordinal = 0
 
     def on_event(self, event: CrawlEvent) -> None:
@@ -296,6 +350,13 @@ class MetricsObserver:
             self._retry_waits.observe(event.wait_seconds)
         elif isinstance(event, RequestAbandoned):
             self._abandoned.inc()
+        elif isinstance(event, ShardStarted):
+            self._shards_started.inc()
+        elif isinstance(event, ShardFinished):
+            if event.status == "completed":
+                self._shards_finished.inc()
+        elif isinstance(event, CampaignMerged):
+            self._campaigns.inc()
 
     def harvest_rate(self) -> float:
         """Targets per request so far (0.0 before the first request)."""

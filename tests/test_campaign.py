@@ -145,3 +145,29 @@ def test_report_is_identical_under_permuted_workload_order():
         assert report.sequential_seconds == baseline.sequential_seconds
         assert report.per_site_finish == baseline.per_site_finish
         assert report.worker_busy_seconds == baseline.worker_busy_seconds
+
+
+def test_workload_rejects_negative_counts():
+    """Regression: a corrupt or hand-built trace summary must fail fast,
+    not feed negative request counts into the scheduler."""
+    with pytest.raises(ValueError, match="n_requests"):
+        SiteWorkload(site="bad", n_requests=-1)
+    with pytest.raises(ValueError, match="total_bytes"):
+        SiteWorkload(site="bad", n_requests=1, total_bytes=-5)
+
+
+def test_from_trace_accepts_any_tracelike():
+    """``from_trace`` is typed against the structural TraceLike protocol
+    — a plain stand-in with the three properties works."""
+    from repro.campaign import TraceLike
+
+    class Recorded:
+        site = "stub"
+        n_requests = 7
+        total_bytes = 1234
+
+    workload = SiteWorkload.from_trace(Recorded())
+    assert isinstance(Recorded(), TraceLike)
+    assert (workload.site, workload.n_requests, workload.total_bytes) == (
+        "stub", 7, 1234
+    )

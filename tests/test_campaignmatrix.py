@@ -1,0 +1,62 @@
+"""Tests for the campaign-matrix experiment (makespan vs worker count).
+
+Wall-clock cells are machine-dependent by design and are only checked
+for presence, never magnitude — the single-core CI/sandbox boxes cannot
+show a real speedup, and the experiment's contract is that the report
+digests don't care.
+"""
+
+from repro.experiments.campaignmatrix import compute_campaign_matrix
+from repro.experiments.config import ExperimentConfig
+
+CONFIG = ExperimentConfig(scale=0.05, sb_runs=1, seeds=(1,))
+SITES = ("cl", "qa")
+CRAWLERS = ("BFS",)
+WORKERS = (1, 2)
+
+
+def _compute():
+    return compute_campaign_matrix(
+        CONFIG, None, sites=SITES, crawlers=CRAWLERS,
+        worker_counts=WORKERS, seed=1, wall_crawler="BFS",
+    )
+
+
+def test_campaign_matrix_shape():
+    result = _compute()
+    assert set(result.makespan_hours) == set(CRAWLERS)
+    for crawler in CRAWLERS:
+        assert len(result.makespan_hours[crawler]) == len(WORKERS)
+        assert len(result.speedups[crawler]) == len(WORKERS)
+        assert len(result.digests[crawler]) == 64
+
+
+def test_campaign_matrix_more_workers_never_slower():
+    result = _compute()
+    for crawler in CRAWLERS:
+        hours = result.makespan_hours[crawler]
+        assert hours == sorted(hours, reverse=True)
+        speedups = result.speedups[crawler]
+        assert speedups[0] == 1.0
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+
+
+def test_campaign_matrix_virtual_cells_are_deterministic():
+    a, b = _compute(), _compute()
+    assert a.makespan_hours == b.makespan_hours
+    assert a.speedups == b.speedups
+    assert a.digests == b.digests
+
+
+def test_campaign_matrix_render_mentions_wall_clock():
+    text = _compute().render()
+    assert "Campaign matrix" in text
+    assert "W=1" in text and "W=2" in text
+    assert "wall-clock" in text
+    assert "machine-dependent" in text
+
+
+def test_campaign_matrix_registered_as_cli_experiment():
+    from repro.__main__ import EXPERIMENTS
+
+    assert "campaignmatrix" in EXPERIMENTS

@@ -23,8 +23,8 @@ def _load():
 def test_workflow_parses_and_declares_all_jobs():
     doc = _load()
     assert set(doc["jobs"]) == {
-        "tests", "lint", "shard-safety", "precheck", "bench",
-        "bench-smoke",
+        "tests", "lint", "shard-safety", "campaign-smoke", "precheck",
+        "bench", "bench-smoke",
     }
 
 
@@ -102,6 +102,23 @@ def test_shard_safety_job_enforces_certificate_drift_gate():
     assert "git diff --exit-code bench_results/shard_safety.json" in commands
 
 
+def test_campaign_smoke_job_enforces_backend_equivalence():
+    """The campaign-smoke job must run `repro campaign --backend both`
+    (which exits non-zero unless the serial and multiprocessing reports
+    are byte-identical), check cross-invocation byte-stability with cmp,
+    and archive the report."""
+    doc = _load()
+    steps = doc["jobs"]["campaign-smoke"]["steps"]
+    commands = "\n".join(s.get("run", "") for s in steps)
+    assert "python -m repro campaign" in commands
+    assert "--backend both" in commands
+    assert "cmp campaign-a.json campaign-b.json" in commands
+    uploads = [s for s in steps
+               if "upload-artifact" in str(s.get("uses", ""))]
+    assert len(uploads) == 1
+    assert uploads[0]["if"] == "always()"
+
+
 def test_bench_job_always_runs_and_uploads_trajectory_artifact():
     """The hot-path bench job must run on every CI event (no `if` gate),
     at reduced scale without enforcing the regression gate, and archive
@@ -131,19 +148,19 @@ def test_bench_smoke_enforces_gate_at_full_scale():
                   if "--gate-against" in s.get("run", "")]
     assert len(gate_steps) == 1
     step = gate_steps[0]
-    assert "bench_results/BENCH_7.json" in step["run"]
+    assert "bench_results/BENCH_8.json" in step["run"]
     # The gate only has meaning at full scale (cross-scale pages/sec are
     # not comparable) — the step must override the job-level smoke scale.
     assert float(step["env"]["REPRO_BENCH_SCALE"]) == 1.0
 
 
 def test_bench_baseline_document_is_committed():
-    """The gate needs a committed baseline: bench_results/BENCH_7.json
+    """The gate needs a committed baseline: bench_results/BENCH_8.json
     must exist, parse, and carry the gated number."""
     import json
 
     baseline = (Path(__file__).resolve().parent.parent
-                / "bench_results" / "BENCH_7.json")
+                / "bench_results" / "BENCH_8.json")
     assert baseline.exists(), "committed bench baseline missing"
     doc = json.loads(baseline.read_text())
     assert doc["schema_version"] == 1

@@ -9,7 +9,7 @@ def test_all_experiments_registered():
     expected = {
         "table1", "table2", "table3", "table4", "table5", "table6",
         "table7", "figure4", "figure5", "figure7", "figure15",
-        "faultmatrix",
+        "faultmatrix", "campaignmatrix",
     }
     assert set(EXPERIMENTS) == expected
 
@@ -51,3 +51,25 @@ def test_cli_compare(capsys):
     out = capsys.readouterr().out
     assert "Paired comparison" in out
     assert "SB-CLASSIFIER - BFS" in out
+
+
+def test_cli_campaign_verb(capsys, tmp_path):
+    out_file = tmp_path / "report.json"
+    assert main([
+        "campaign", "--sites", "cl,qa", "--crawler", "BFS",
+        "--scale", "0.05", "--shards", "2", "--workers", "2",
+        "--json", str(out_file),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "campaign: 2 sites" in out
+    assert "digest" in out
+    import json
+
+    payload = json.loads(out_file.read_text())
+    assert payload["config"]["crawler"] == "BFS"
+    assert len(payload["sites"]) == 2
+
+
+def test_cli_campaign_rejects_bad_backend():
+    with pytest.raises(SystemExit):
+        main(["campaign", "--backend", "threads"])

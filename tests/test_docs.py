@@ -190,3 +190,32 @@ def test_observability_worked_example_runs_as_written():
     snippets = [b for b in _python_blocks(doc) if "MemorySink()" in b]
     assert snippets, "worked example block not found"
     exec(compile(snippets[0], "docs/observability.md", "exec"), {})
+
+
+def test_campaign_doc_covers_engine_exports():
+    """docs/campaign.md names every ``repro.campaign.__all__`` export
+    (drift gate, same contract as the api.md gate)."""
+    import repro.campaign
+
+    doc = (REPO / "docs" / "campaign.md").read_text()
+    for name in repro.campaign.__all__:
+        assert f"`{name}`" in doc, f"{name} missing from docs/campaign.md"
+
+
+def test_campaign_doc_worked_example_runs_as_written():
+    """The docs/campaign.md worked example executes verbatim — it runs
+    a tiny serial campaign twice and asserts the digest is stable."""
+    doc = (REPO / "docs" / "campaign.md").read_text()
+    snippets = [b for b in _python_blocks(doc) if "MemorySink()" in b]
+    assert snippets, "worked example block not found"
+    exec(compile(snippets[0], "docs/campaign.md", "exec"), {})
+
+
+def test_campaign_doc_is_linked_from_entry_points():
+    """The campaign engine doc is reachable from the places a reader
+    starts at — README, architecture, api — and from the docs whose
+    tables reference its events/metrics/bench section."""
+    for path in ("README.md", "docs/architecture.md", "docs/api.md",
+                 "docs/observability.md", "docs/performance.md",
+                 "docs/static_analysis.md"):
+        assert "campaign.md" in (REPO / path).read_text(), path

@@ -138,3 +138,79 @@ def test_metrics_observer_shares_external_registry():
     obs.on_event(FetchEvent(ordinal=1, method="GET", url="u", status=200,
                             size=10, is_target=False))
     assert r.get("requests_total").value == 1
+
+
+# -- registry merge fold (campaign shard aggregation) -----------------------
+
+
+def _shard_registry(requests, frontier, sizes=()):
+    registry = MetricsRegistry()
+    registry.counter("requests_total").inc(requests)
+    registry.gauge("frontier_size").set(frontier)
+    histogram = registry.histogram("response_size_bytes", (10.0, 100.0))
+    for value in sizes:
+        histogram.observe(value)
+    return registry
+
+
+def test_registry_merge_adds_counters_gauges_histograms():
+    a = _shard_registry(5, 2, sizes=(5, 50))
+    b = _shard_registry(3, 4, sizes=(500,))
+    a.merge(b)
+    assert a.get("requests_total").value == 8
+    # Shard-final gauges are per-shard levels; the campaign level sums.
+    assert a.get("frontier_size").value == 6
+    histogram = a.get("response_size_bytes")
+    assert histogram.counts == [1, 1, 1]
+    assert histogram.n == 3
+    assert histogram.total == 555
+
+
+def test_registry_merge_empty_identity_and_associativity():
+    def parts():
+        return (
+            _shard_registry(2, 1, sizes=(5,)),
+            _shard_registry(7, 3, sizes=(50, 500)),
+            _shard_registry(1, 0),
+        )
+
+    a, b, c = parts()
+    left = MetricsRegistry().merge(
+        MetricsRegistry().merge(a).merge(b)
+    ).merge(c)
+    a, b, c = parts()
+    right = MetricsRegistry().merge(a).merge(
+        MetricsRegistry().merge(b).merge(c)
+    )
+    assert left.as_dict() == right.as_dict()
+    assert left.render() == right.render()
+
+    merged = MetricsRegistry().merge(parts()[0])
+    again = MetricsRegistry().merge(parts()[0]).merge(MetricsRegistry())
+    assert merged.as_dict() == again.as_dict()
+
+
+def test_registry_merge_rejects_kind_mismatch():
+    a = MetricsRegistry()
+    a.counter("metric_x").inc()
+    b = MetricsRegistry()
+    b.gauge("metric_x").set(1)
+    with pytest.raises(TypeError):
+        a.merge(b)
+
+
+def test_registry_merge_rejects_bucket_mismatch():
+    a = MetricsRegistry()
+    a.histogram("sizes", (1.0, 2.0)).observe(1)
+    b = MetricsRegistry()
+    b.histogram("sizes", (1.0, 5.0)).observe(1)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_registry_merge_returns_self_and_preserves_help():
+    total = MetricsRegistry()
+    shard = MetricsRegistry()
+    shard.counter("requests_total", "GET + HEAD requests issued").inc(2)
+    assert total.merge(shard) is total
+    assert total.get("requests_total").help == "GET + HEAD requests issued"
