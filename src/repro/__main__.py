@@ -120,11 +120,28 @@ def _campaign_main(argv: list[str]) -> int:
         help="record per-site JSONL event traces under DIR",
     )
     parser.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="write durable crawl-state checkpoints under DIR so an "
+             "interrupted campaign (SIGINT/SIGTERM) can be resumed "
+             "byte-identically (docs/checkpoint.md)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=25, metavar="N",
+        help="crawl steps between periodic mid-site snapshots "
+             "(default 25; 0 = snapshot only on shutdown)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign from --checkpoint DIR",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="FILE",
         help="also write the canonical campaign report as JSON",
     )
     args = parser.parse_args(argv)
 
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint DIR")
     sites = (
         tuple(s for s in args.sites.split(",") if s)
         if args.sites is not None
@@ -137,22 +154,50 @@ def _campaign_main(argv: list[str]) -> int:
         # creating it here keeps filesystem setup out of the
         # shard-safe worker surface (docs/campaign.md).
         Path(args.trace_dir).mkdir(parents=True, exist_ok=True)
+    shutdown = None
+    if args.checkpoint is not None:
+        from pathlib import Path
+
+        from repro.checkpoint import ShutdownFlag, install_signal_handlers
+
+        checkpoint_dir = Path(args.checkpoint)
+        if not args.resume and checkpoint_dir.is_dir() and any(
+            checkpoint_dir.iterdir()
+        ):
+            print(f"ERROR: checkpoint dir {checkpoint_dir} is not empty; "
+                  "pass --resume to continue it or choose a fresh dir")
+            return 2
+        # Same rationale as --trace-dir: directory setup happens in the
+        # CLI, outside the shard-safe worker surface.
+        checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        shutdown = ShutdownFlag()
+        # Serial runs drain gracefully via the flag (the in-flight
+        # crawl saves a final snapshot); the multiprocessing pool needs
+        # the KeyboardInterrupt path to terminate its children.
+        install_signal_handlers(
+            shutdown, raise_keyboard_interrupt=(args.backend != "serial")
+        )
     spec = CampaignSpec(
         sites=sites, crawler=args.crawler, seed=args.seed, scale=args.scale,
         budget=args.budget, n_shards=args.shards, n_workers=args.workers,
         politeness_delay=args.politeness, trace_dir=args.trace_dir,
     )
     backends = {
-        "serial": [SerialBackend()],
+        "serial": [SerialBackend(shutdown=shutdown)],
         "multiprocessing": [MultiprocessingBackend(n_workers=args.workers)],
-        "both": [SerialBackend(),
+        "both": [SerialBackend(shutdown=shutdown),
                  MultiprocessingBackend(n_workers=args.workers)],
     }[args.backend]
 
     reports = []
     for backend in backends:
         started = time.time()  # repro: noqa[DET002] CLI progress display only
-        report = run_campaign(spec, backend=backend)
+        report = run_campaign(
+            spec, backend=backend,
+            checkpoint_dir=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+        )
         elapsed = time.time() - started  # repro: noqa[DET002] display only
         reports.append(report)
         print(f"[{backend.name} backend: {elapsed:.1f} s]")

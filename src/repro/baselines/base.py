@@ -48,6 +48,79 @@ class FrontierCrawler(Crawler):
                  was_target: bool) -> None:
         """Hook called after each fetched page (for learning baselines)."""
 
+    # -- checkpointing hooks (repro.checkpoint) ------------------------
+
+    def _frontier_state(self) -> dict | None:
+        """Frontier discipline's snapshot, or ``None`` when the
+        discipline does not support checkpointing (the site then
+        restarts from scratch on resume)."""
+        return None
+
+    def _frontier_restore(self, state: dict) -> None:
+        raise NotImplementedError(
+            f"{self.name} does not support checkpoint resume"
+        )
+
+    def _checkpoint_payload(
+        self, env: CrawlEnvironment, client, seen: set, visited: set,
+        targets: set,
+    ) -> dict | None:
+        frontier = self._frontier_state()
+        if frontier is None:
+            return None
+        return {
+            "kind": "baseline-crawl",
+            "crawler": self.name,
+            "site": env.graph.name,
+            "components": {
+                "frontier": frontier,
+                "client": client.snapshot_state(),
+                "robots": self._robots.snapshot_state(),
+                "crawl": {
+                    "depths": dict(self._depths),
+                    "dead_letters": list(self._dead_letters),
+                    "requeues": dict(self._requeues),
+                    "seen": sorted(seen),
+                    "visited": sorted(visited),
+                    "targets": sorted(targets),
+                },
+            },
+        }
+
+    def _restore_crawl_state(
+        self, env: CrawlEnvironment, client, payload: dict,
+        seen: set, visited: set, targets: set,
+    ) -> None:
+        from repro.checkpoint.store import CheckpointError
+
+        if payload.get("kind") != "baseline-crawl":
+            raise CheckpointError(
+                f"checkpoint kind {payload.get('kind')!r} is not a "
+                "baseline-crawl snapshot"
+            )
+        if payload.get("crawler") != self.name or (
+            payload.get("site") != env.graph.name
+        ):
+            raise CheckpointError(
+                f"checkpoint is for {payload.get('crawler')!r} on "
+                f"{payload.get('site')!r}, not {self.name!r} on "
+                f"{env.graph.name!r}"
+            )
+        parts = payload["components"]
+        self._frontier_restore(parts["frontier"])
+        client.restore_state(parts["client"])
+        self._robots.restore_state(parts["robots"])
+        crawl = parts["crawl"]
+        self._depths = dict(crawl["depths"])
+        self._dead_letters = list(crawl["dead_letters"])
+        self._requeues = dict(crawl["requeues"])
+        seen.clear()
+        seen.update(crawl["seen"])
+        visited.clear()
+        visited.update(crawl["visited"])
+        targets.clear()
+        targets.update(crawl["targets"])
+
     # -- the crawl loop ------------------------------------------------
 
     def crawl(
@@ -55,22 +128,39 @@ class FrontierCrawler(Crawler):
         env: CrawlEnvironment,
         budget: float | None = None,
         cost_model: str = "requests",
+        checkpoint=None,
     ) -> CrawlResult:
         client = env.new_client(self.name)
         self._frontier_init()
-        if self.respect_robots:
-            self._robots = fetch_robots_policy(client, env.root_url)
-        else:
-            self._robots = RobotsPolicy()
         self._depths: dict[str, int] = {env.root_url: 0}
         self._dead_letters: list[str] = []
         self._requeues: dict[str, int] = {}
         seen: set[str] = {env.root_url}
         visited: set[str] = set()
         targets: set[str] = set()
-        self._frontier_push(env.root_url, {"depth": 0, "anchor": "", "tag_path": ""})
+        if checkpoint is not None and checkpoint.resume_payload is not None:
+            # Snapshot was taken at the top of the loop, after robots
+            # fetch and root seeding: restore instead of repeating them.
+            self._robots = RobotsPolicy()
+            self._restore_crawl_state(
+                env, client, checkpoint.resume_payload, seen, visited, targets
+            )
+        else:
+            if self.respect_robots:
+                self._robots = fetch_robots_policy(client, env.root_url)
+            else:
+                self._robots = RobotsPolicy()
+            self._frontier_push(
+                env.root_url, {"depth": 0, "anchor": "", "tag_path": ""}
+            )
 
         while not self._frontier_empty():
+            if checkpoint is not None:
+                checkpoint.tick(
+                    lambda: self._checkpoint_payload(
+                        env, client, seen, visited, targets
+                    )
+                )
             if self.budget_exhausted(client, budget, cost_model):
                 break
             url = self._frontier_pop()

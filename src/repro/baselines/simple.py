@@ -32,6 +32,12 @@ class BFSCrawler(FrontierCrawler):
     def _frontier_empty(self) -> bool:
         return not self._queue
 
+    def _frontier_state(self) -> dict | None:
+        return {"queue": list(self._queue)}
+
+    def _frontier_restore(self, state: dict) -> None:
+        self._queue = deque(state["queue"])
+
 
 class DFSCrawler(FrontierCrawler):
     """Depth-first crawler (LIFO frontier)."""
@@ -49,6 +55,12 @@ class DFSCrawler(FrontierCrawler):
 
     def _frontier_empty(self) -> bool:
         return not self._stack
+
+    def _frontier_state(self) -> dict | None:
+        return {"stack": list(self._stack)}
+
+    def _frontier_restore(self, state: dict) -> None:
+        self._stack = list(state["stack"])
 
 
 class RandomCrawler(FrontierCrawler):
@@ -73,3 +85,14 @@ class RandomCrawler(FrontierCrawler):
 
     def _frontier_empty(self) -> bool:
         return not self._items
+
+    def _frontier_state(self) -> dict | None:
+        from repro.checkpoint.codec import encode_rng_state
+
+        return {"items": list(self._items), "rng": encode_rng_state(self._rng)}
+
+    def _frontier_restore(self, state: dict) -> None:
+        from repro.checkpoint.codec import decode_rng_state
+
+        self._items = list(state["items"])
+        self._rng.setstate(decode_rng_state(state["rng"]))

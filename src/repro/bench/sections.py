@@ -31,7 +31,7 @@ from repro.utils.rng import derive_rng, derive_seed
 #: Registry order is report order; docs/performance.md documents each
 #: (gated by tests/test_docs.py).
 SECTION_NAMES: tuple[str, ...] = (
-    "tagpath", "hnsw", "parse", "frontier", "campaign", "e2e"
+    "tagpath", "hnsw", "parse", "frontier", "campaign", "checkpoint", "e2e"
 )
 
 #: Site profile the parse and e2e sections crawl.
@@ -352,6 +352,82 @@ def bench_campaign(seed: int, scale: float, repeats: int) -> SectionResult:
     )
 
 
+# -- checkpoint ------------------------------------------------------------
+
+
+def bench_checkpoint(seed: int, scale: float, repeats: int,
+                     site: str = DEFAULT_SITE) -> SectionResult:
+    """Snapshot/write/read round-trips of a real mid-crawl state.
+
+    An SB crawl is driven to a deterministic interrupt step with an
+    in-memory checkpointer (``store=None``), capturing the exact
+    payload a durable run would persist; the measured loop then writes
+    that payload through the atomic store and validates it back.  The
+    workload block carries the payload digest and a round-trip
+    identity bit, so the determinism gate also protects the codec's
+    byte-identity contract.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.checkpoint import (
+        CheckpointStore,
+        CrawlCheckpointer,
+        CrawlInterrupted,
+        canonical_json,
+        payload_digest,
+    )
+    from repro.core.crawler import SBConfig, sb_classifier
+    from repro.http.environment import CrawlEnvironment
+    from repro.webgraph.sites import load_paper_site
+
+    site_scale = max(0.05, min(1.0, 0.4 * scale))
+    interrupt_at = max(20, int(200 * scale))
+    env = CrawlEnvironment(load_paper_site(site, scale=site_scale))
+    capture = CrawlCheckpointer(store=None, interrupt_at=interrupt_at)
+    try:
+        sb_classifier(SBConfig(seed=seed)).crawl(env, checkpoint=capture)
+    except CrawlInterrupted:
+        pass
+    payload = capture.last_payload
+    assert payload is not None
+    payload_bytes = len(canonical_json(payload).encode("utf-8"))
+    n_roundtrips = max(4, int(30 * scale))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        serial = iter(range(1_000_000))
+
+        def make_store() -> CheckpointStore:
+            return CheckpointStore(Path(tmp) / f"run{next(serial)}")
+
+        def run(store: CheckpointStore) -> None:
+            for step in range(n_roundtrips):
+                store.write_checkpoint(payload, step=step)
+                store.read_latest()
+                store.prune_old(keep=2)
+
+        timing = time_workload(make_store, run, ops=n_roundtrips,
+                               repeats=repeats)
+        probe = make_store()
+        probe.write_checkpoint(payload, step=interrupt_at)
+        roundtrip_identical = probe.read_latest().payload == payload
+
+    return SectionResult(
+        name="checkpoint",
+        unit="checkpoints/sec",
+        workload={
+            "site": site,
+            "site_scale": site_scale,
+            "interrupt_step": interrupt_at,
+            "n_roundtrips": n_roundtrips,
+            "payload_bytes": payload_bytes,
+            "payload_digest": payload_digest(payload),
+            "roundtrip_identical": roundtrip_identical,
+        },
+        timing=timing,
+    )
+
+
 # -- e2e -------------------------------------------------------------------
 
 
@@ -399,6 +475,7 @@ SECTIONS = {
     "parse": bench_parse,
     "frontier": bench_frontier,
     "campaign": bench_campaign,
+    "checkpoint": bench_checkpoint,
     "e2e": bench_e2e,
 }
 

@@ -81,8 +81,14 @@ def dispatch_order(spec: CampaignSpec, partitions: list[Partition]) -> list[int]
     return order
 
 
-def shard_tasks(spec: CampaignSpec, partitions: list[Partition],
-                order: list[int]) -> list[ShardTask]:
+def shard_tasks(
+    spec: CampaignSpec,
+    partitions: list[Partition],
+    order: list[int],
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
+) -> list[ShardTask]:
     """One picklable work order per shard, in dispatch order."""
     by_id = {p.shard_id: p for p in partitions}
     return [
@@ -94,6 +100,9 @@ def shard_tasks(spec: CampaignSpec, partitions: list[Partition],
             scale=spec.scale,
             budget=spec.budget,
             trace_dir=spec.trace_dir,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
         )
         for shard_id in order
     ]
@@ -103,6 +112,9 @@ def run_campaign(
     spec: CampaignSpec,
     backend: WorkerPool | None = None,
     observer: Observer | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> CampaignRunReport:
     """Execute a campaign end to end and return the merged report.
 
@@ -110,15 +122,57 @@ def run_campaign(
     pass a :class:`~repro.campaign.workers.MultiprocessingBackend` for
     real parallelism — the report is byte-identical either way.
     ``observer`` receives the replayed campaign event stream.
+
+    With ``checkpoint_dir`` set the campaign is durable: every
+    completed shard's outcome is persisted, workers write per-shard
+    progress and mid-site snapshots, and ``resume=True`` continues an
+    interrupted campaign — already-completed shards are loaded from
+    disk instead of re-crawled, partially-completed shards resume
+    mid-site, and the merged report (and digest) is byte-identical to
+    an uninterrupted run.  Checkpoint parameters never enter the report
+    ``config``, so checkpointed and plain runs share one digest.
     """
     pool = backend if backend is not None else SerialBackend()
     partitions = partition_sites(
         list(spec.sites), spec.n_shards, weights=site_weights(spec.sites)
     )
     order = dispatch_order(spec, partitions)
-    tasks = shard_tasks(spec, partitions, order)
+    tasks = shard_tasks(
+        spec, partitions, order,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+    )
 
-    outcomes = pool.run_tasks(tasks)
+    restored: dict[int, object] = {}
+    if checkpoint_dir is not None and resume:
+        from repro.campaign.checkpoint import (
+            SHARD_OUTCOME_KIND,
+            campaign_store,
+            payload_to_shard_outcome,
+        )
+
+        for loaded in campaign_store(checkpoint_dir).read_all(
+            kind=SHARD_OUTCOME_KIND
+        ):
+            outcome = payload_to_shard_outcome(loaded.payload)
+            restored[outcome.shard_id] = outcome  # latest write wins
+
+    pending = [t for t in tasks if t.shard_id not in restored]
+    fresh = pool.run_tasks(pending) if pending else []
+
+    if checkpoint_dir is not None:
+        from repro.campaign.checkpoint import (
+            campaign_store,
+            shard_outcome_to_payload,
+        )
+
+        store = campaign_store(checkpoint_dir)
+        for outcome in fresh:
+            if outcome.status == "completed":
+                store.write_checkpoint(shard_outcome_to_payload(outcome))
+
+    outcomes = list(restored.values()) + fresh
 
     report = merge_outcomes(
         outcomes,

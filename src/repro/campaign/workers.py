@@ -35,6 +35,7 @@ from typing import Callable, Protocol
 
 from repro.analysis.trace import CrawlTrace
 from repro.campaign.scheduler import SiteWorkload
+from repro.checkpoint.controller import CrawlInterrupted
 from repro.http.ledger import CostLedger
 from repro.obs.metrics import MetricsObserver, MetricsRegistry
 from repro.utils.rng import derive_seed
@@ -52,6 +53,13 @@ class ShardTask:
     budget: float | None = None
     #: directory for per-site JSONL event traces (None = no tracing)
     trace_dir: str | None = None
+    #: campaign checkpoint directory (None = checkpointing off)
+    checkpoint_dir: str | None = None
+    #: crawl steps between periodic mid-site checkpoints (0 = only on
+    #: shutdown)
+    checkpoint_every: int = 0
+    #: resume from the shard's on-disk progress instead of starting fresh
+    resume: bool = False
 
 
 @dataclass(frozen=True)
@@ -160,41 +168,90 @@ def make_crawler(name: str, seed: int):
     raise ValueError(f"unknown crawler: {name!r}")
 
 
+def _supports_checkpoint(crawler) -> bool:
+    """Whether the crawler's ``crawl`` accepts a ``checkpoint`` kwarg
+    (crawlers without one simply restart their in-flight site on
+    resume; completed sites still come from the shard progress)."""
+    import inspect
+
+    return "checkpoint" in inspect.signature(crawler.crawl).parameters
+
+
 def _crawl_site(task: ShardTask, site: str, seed: int,
-                observer: MetricsObserver):
-    """One site's crawl, with opt-in JSONL tracing."""
+                observer: MetricsObserver, checkpointer=None):
+    """One site's crawl, with opt-in JSONL tracing and checkpointing."""
     from pathlib import Path
 
     from repro.http.environment import CrawlEnvironment
     from repro.obs.observer import MultiObserver
-    from repro.obs.sinks import JsonlSink
+    from repro.obs.sinks import JsonlSink, truncate_events
     from repro.webgraph.sites import load_paper_site
+
+    crawler = make_crawler(task.crawler, seed)
+    kwargs: dict = {}
+    if checkpointer is not None and _supports_checkpoint(crawler):
+        kwargs["checkpoint"] = checkpointer
 
     if task.trace_dir is None:
         env = CrawlEnvironment(
             load_paper_site(site, scale=task.scale), observer=observer
         )
-        return make_crawler(task.crawler, seed).crawl(env, budget=task.budget)
+        return crawler.crawl(env, budget=task.budget, **kwargs)
 
     # The directory must already exist: creating it here would put
     # filesystem io on the worker surface the shard-safety certificate
     # keeps pure/reads-only, so the CLI (outside the worker-entry
     # packages) creates it before dispatch.
     directory = Path(task.trace_dir)
-    with JsonlSink(
-        directory / f"{site}-{task.crawler}-s{task.seed}.jsonl",
-        meta={"crawler": task.crawler, "site": site,
-              "seed": task.seed, "scale": task.scale,
-              "shard": task.shard_id},
-    ) as sink:
+    trace_path = directory / f"{site}-{task.crawler}-s{task.seed}.jsonl"
+    resume_sink = None
+    if checkpointer is not None and checkpointer.resume_payload is not None:
+        resume_sink = checkpointer.resume_payload.get("extras", {}).get("sink")
+    if resume_sink is not None:
+        # Rewind the trace to the snapshot's event count, then append:
+        # the resumed run re-emits events from the checkpoint onward
+        # without duplicating anything before it.
+        truncate_events(trace_path, resume_sink["n_events"])
+        sink = JsonlSink(trace_path, append=True)
+    else:
+        sink = JsonlSink(
+            trace_path,
+            meta={"crawler": task.crawler, "site": site,
+                  "seed": task.seed, "scale": task.scale,
+                  "shard": task.shard_id},
+        )
+    with sink:
+        if checkpointer is not None:
+            checkpointer.extras["sink"] = sink
         env = CrawlEnvironment(
             load_paper_site(site, scale=task.scale),
             observer=MultiObserver([observer, sink]),
         )
-        return make_crawler(task.crawler, seed).crawl(env, budget=task.budget)
+        return crawler.crawl(env, budget=task.budget, **kwargs)
 
 
-def run_shard(task: ShardTask) -> ShardOutcome:
+def _site_outcome(task: ShardTask, site: str, seed: int, result) -> SiteOutcome:
+    """Reduce one crawl result to its picklable site outcome."""
+    ledger = result.info.get("ledger")
+    if not isinstance(ledger, CostLedger):
+        ledger = _ledger_from_trace(result.trace)
+    return SiteOutcome(
+        site=site,
+        crawler=task.crawler,
+        seed=seed,
+        n_requests=result.n_requests,
+        n_targets=result.n_targets,
+        total_bytes=result.trace.total_bytes,
+        target_bytes=result.trace.target_bytes,
+        stopped_early=result.stopped_early,
+        n_dead_letters=result.n_dead_letters,
+        trace_digest=trace_digest(result.trace),
+        ledger=ledger,
+        workload=SiteWorkload.from_trace(result.trace),
+    )
+
+
+def run_shard(task: ShardTask, shutdown=None) -> ShardOutcome:
     """Crawl every site of one shard; the single worker entry point.
 
     Runs identically in-process (serial backend) and in a spawned
@@ -202,30 +259,87 @@ def run_shard(task: ShardTask) -> ShardOutcome:
     all outputs leave in the returned :class:`ShardOutcome`, and every
     random draw derives from ``(task.seed, site)`` — nothing depends on
     which process, or in what order, shards execute.
+
+    With ``task.checkpoint_dir`` set the shard becomes durable: shard
+    progress is persisted after every completed site, the in-flight
+    site snapshots itself every ``task.checkpoint_every`` steps (and on
+    ``shutdown``), and ``task.resume`` continues a partially-completed
+    shard so the final outcome — and the merged report digest — is
+    byte-identical to an uninterrupted run.
     """
     outcome = ShardOutcome(shard_id=task.shard_id)
+    progress_store = None
+    completed: list = []
+    done_sites: set[str] = set()
+    if task.checkpoint_dir is not None:
+        from repro.campaign.checkpoint import (
+            SHARD_PROGRESS_KIND,
+            restore_shard_progress,
+            shard_store,
+        )
+
+        progress_store = shard_store(task.checkpoint_dir, task.shard_id)
+        if task.resume:
+            loaded = progress_store.read_latest(kind=SHARD_PROGRESS_KIND)
+            if loaded is not None:
+                completed = restore_shard_progress(loaded.payload)
+                for site_outcome, registry in completed:
+                    outcome.sites.append(site_outcome)
+                    outcome.metrics.merge(registry)
+                    done_sites.add(site_outcome.site)
+
+    def _write_progress() -> None:
+        from repro.campaign.checkpoint import shard_progress_payload
+
+        progress_store.write_checkpoint(
+            shard_progress_payload(task.shard_id, completed),
+            step=len(completed),
+        )
+        progress_store.prune_old(keep=2)
+
     for site in sorted(task.sites):
+        if site in done_sites:
+            continue
+        if shutdown is not None and shutdown.is_set():
+            outcome.status = "interrupted"
+            if progress_store is not None:
+                _write_progress()
+            return outcome
         seed = site_seed(task.seed, site)
         observer = MetricsObserver()
-        result = _crawl_site(task, site, seed, observer)
-        ledger = result.info.get("ledger")
-        if not isinstance(ledger, CostLedger):
-            ledger = _ledger_from_trace(result.trace)
-        outcome.sites.append(SiteOutcome(
-            site=site,
-            crawler=task.crawler,
-            seed=seed,
-            n_requests=result.n_requests,
-            n_targets=result.n_targets,
-            total_bytes=result.trace.total_bytes,
-            target_bytes=result.trace.target_bytes,
-            stopped_early=result.stopped_early,
-            n_dead_letters=result.n_dead_letters,
-            trace_digest=trace_digest(result.trace),
-            ledger=ledger,
-            workload=SiteWorkload.from_trace(result.trace),
-        ))
+        checkpointer = None
+        if task.checkpoint_dir is not None:
+            from repro.campaign.checkpoint import site_store
+            from repro.checkpoint.controller import CrawlCheckpointer
+
+            checkpointer = CrawlCheckpointer(
+                site_store(task.checkpoint_dir, task.shard_id, site),
+                every=task.checkpoint_every,
+                flag=shutdown,
+            )
+            checkpointer.extras["observer"] = observer
+            if task.resume:
+                loaded_site = checkpointer.store.read_latest()
+                if loaded_site is not None:
+                    checkpointer.arm_resume(loaded_site)
+                    observer.restore_state(
+                        loaded_site.payload["extras"]["observer"]
+                    )
+        try:
+            result = _crawl_site(task, site, seed, observer, checkpointer)
+        except CrawlInterrupted:
+            # The crawler already saved its final mid-site checkpoint;
+            # persist the shard's completed-site progress and hand back
+            # the graceful-shutdown placeholder.
+            outcome.status = "interrupted"
+            if progress_store is not None:
+                _write_progress()
+            return outcome
+        outcome.sites.append(_site_outcome(task, site, seed, result))
         outcome.metrics.merge(observer.registry)
+        completed.append((outcome.sites[-1], observer.registry))
+        if progress_store is not None:
+            _write_progress()
     return outcome
 
 
@@ -254,13 +368,29 @@ class SerialBackend:
 
     name = "serial"
 
+    def __init__(self, shutdown=None) -> None:
+        #: optional ShutdownFlag checked between (and, via the crawl
+        #: checkpointer, inside) shards for graceful durable shutdown
+        self.shutdown = shutdown
+
     def run_tasks(self, tasks: list[ShardTask]) -> list[ShardOutcome]:
         outcomes: list[ShardOutcome] = []
         pending = list(tasks)
         try:
             while pending:
                 task = pending.pop(0)
-                outcomes.append(run_shard(task))
+                if self.shutdown is not None:
+                    outcome = run_shard(task, shutdown=self.shutdown)
+                else:
+                    outcome = run_shard(task)
+                outcomes.append(outcome)
+                if outcome.status == "interrupted":
+                    # Durable shutdown: the in-flight shard checkpointed
+                    # itself; the rest were never started.
+                    outcomes.extend(
+                        interrupted_outcome(t.shard_id) for t in pending
+                    )
+                    break
         except KeyboardInterrupt:
             outcomes.append(interrupted_outcome(task.shard_id))
             outcomes.extend(interrupted_outcome(t.shard_id) for t in pending)
@@ -321,10 +451,27 @@ class MultiprocessingBackend:
             except KeyboardInterrupt:
                 pool.terminate()
                 collected = {o.shard_id for o in outcomes}
-                outcomes.extend(
-                    interrupted_outcome(t.shard_id)
-                    for t in tasks if t.shard_id not in collected
-                )
+                for t in tasks:
+                    if t.shard_id in collected:
+                        continue
+                    if t.checkpoint_dir is not None:
+                        # Durable interrupt: stamp the shard store so a
+                        # resume knows this shard's on-disk progress
+                        # (periodic mid-site snapshots plus per-site
+                        # progress) is the authoritative restart point.
+                        self._write_interrupt_marker(t)
+                    outcomes.append(interrupted_outcome(t.shard_id))
         finally:
             pool.join()
         return outcomes
+
+    @staticmethod
+    def _write_interrupt_marker(task: ShardTask) -> None:
+        from repro.campaign.checkpoint import (
+            interrupted_marker_payload,
+            shard_store,
+        )
+
+        shard_store(task.checkpoint_dir, task.shard_id).write_checkpoint(
+            interrupted_marker_payload(task.shard_id)
+        )

@@ -110,3 +110,38 @@ class ActionSpace:
             action_id=action_id, n_members=1, example_tag_path=tag_path
         )
         return action_id
+
+    # -- checkpointing (repro.checkpoint) --------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Cluster metadata and the exact-string cache in insertion
+        order, plus the full HNSW index (the shared vectorizer is
+        snapshotted separately by the crawler)."""
+        return {
+            "next_id": self._next_id,
+            "stats": [
+                [s.action_id, s.n_members, s.example_tag_path]
+                for s in self._stats.values()
+            ],
+            "exact_cache": [
+                [tag_path, action_id]
+                for tag_path, action_id in self._exact_cache.items()
+            ],
+            "index": self.index.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._next_id = state["next_id"]
+        self._stats = {
+            action_id: ActionStats(
+                action_id=action_id,
+                n_members=n_members,
+                example_tag_path=example_tag_path,
+            )
+            for action_id, n_members, example_tag_path in state["stats"]
+        }
+        self._exact_cache = {
+            tag_path: action_id
+            for tag_path, action_id in state["exact_cache"]
+        }
+        self.index.restore_state(state["index"])

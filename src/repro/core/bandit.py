@@ -111,6 +111,34 @@ class SleepingBandit:
         )
         return values[:k]
 
+    # -- checkpointing (repro.checkpoint) --------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Arms as a list of tuples in insertion order: the analyses
+        fold ``arms.values()`` with float sums, so restore order must
+        match selection order."""
+        return {
+            "arms": [
+                [a, s.n_selected, s.mean_reward, s.total_reward]
+                for a, s in self.arms.items()
+            ],
+            "last_score": self.last_score,
+            "total_selections": self.total_selections,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.arms = {
+            action_id: ArmState(
+                n_selected=n_selected,
+                mean_reward=mean_reward,
+                total_reward=total_reward,
+            )
+            for action_id, n_selected, mean_reward, total_reward
+            in state["arms"]
+        }
+        self.last_score = state["last_score"]
+        self.total_selections = state["total_selections"]
+
 
 @dataclass
 class EpsilonGreedyBandit(SleepingBandit):
@@ -138,6 +166,19 @@ class EpsilonGreedyBandit(SleepingBandit):
             choice = max(awake_actions, key=lambda a: self.arms[a].mean_reward)
         self.last_score = self.arms[choice].mean_reward
         return choice
+
+    def snapshot_state(self) -> dict:
+        from repro.checkpoint.codec import encode_rng_state
+
+        state = super().snapshot_state()
+        state["rng"] = encode_rng_state(self._rng)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        from repro.checkpoint.codec import decode_rng_state
+
+        super().restore_state(state)
+        self._rng.setstate(decode_rng_state(state["rng"]))
 
 
 @dataclass
@@ -171,6 +212,19 @@ class ThompsonSamplingBandit(SleepingBandit):
                 best_action = action_id
         self.last_score = best_sample
         return best_action
+
+    def snapshot_state(self) -> dict:
+        from repro.checkpoint.codec import encode_rng_state
+
+        state = super().snapshot_state()
+        state["rng"] = encode_rng_state(self._rng)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        from repro.checkpoint.codec import decode_rng_state
+
+        super().restore_state(state)
+        self._rng.setstate(decode_rng_state(state["rng"]))
 
 
 def make_bandit(

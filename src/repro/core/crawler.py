@@ -174,15 +174,27 @@ class SBCrawler(Crawler):
         env: CrawlEnvironment,
         budget: float | None = None,
         cost_model: str = "requests",
+        checkpoint=None,
     ) -> CrawlResult:
         state = self._new_state(env)
-        if self.config.respect_robots:
-            state.robots = fetch_robots_policy(state.client, env.root_url)
-        state.seen.add(env.root_url)
-        state.frontier.add(env.root_url, _ROOT_ACTION)
+        if checkpoint is not None and checkpoint.resume_payload is not None:
+            # Resume: the snapshot was taken at the top of the crawl
+            # loop, after robots fetch and root seeding, so neither is
+            # repeated here.
+            self._restore_crawl_state(state, checkpoint.resume_payload)
+        else:
+            if self.config.respect_robots:
+                state.robots = fetch_robots_policy(state.client, env.root_url)
+            state.seen.add(env.root_url)
+            state.frontier.add(env.root_url, _ROOT_ACTION)
         stopped_early = False
 
         while len(state.frontier) > 0:
+            if checkpoint is not None:
+                # May raise CrawlInterrupted after saving a final
+                # checkpoint; the payload describes state *before* this
+                # iteration, so resume re-executes it exactly.
+                checkpoint.tick(lambda: self._checkpoint_payload(state))
             if self.budget_exhausted(state.client, budget, cost_model):
                 break
             awake = [a for a in state.frontier.awake_actions() if a != _ROOT_ACTION]
@@ -244,6 +256,92 @@ class SBCrawler(Crawler):
                 ),
             },
         )
+
+    # -- checkpointing (repro.checkpoint) -----------------------------------
+
+    def _checkpoint_payload(self, state: _SBState) -> dict:
+        """Full crawl state as a canonical-JSON-safe payload (see
+        docs/checkpoint.md for the schema)."""
+        return {
+            "kind": "sb-crawl",
+            "crawler": self.name,
+            "site": state.env.graph.name,
+            "components": {
+                "frontier": state.frontier.snapshot_state(),
+                "bandit": state.bandit.snapshot_state(),
+                "actions": state.actions.snapshot_state(),
+                "vectorizer": state.vectorizer.snapshot_state(),
+                "classifier": (
+                    state.classifier.snapshot_state()
+                    if isinstance(state.classifier, OnlineUrlClassifier)
+                    else None
+                ),
+                "monitor": (
+                    state.monitor.snapshot_state()
+                    if state.monitor is not None
+                    else None
+                ),
+                "client": state.client.snapshot_state(),
+                "confusion": state.confusion.snapshot_state(),
+                "robots": state.robots.snapshot_state(),
+                "crawl": {
+                    "t": state.t,
+                    "visited": sorted(state.visited),
+                    "seen": sorted(state.seen),
+                    "targets": sorted(state.targets),
+                    "dead_letters": list(state.dead_letters),
+                    "requeues": dict(state.requeues),
+                },
+            },
+        }
+
+    def _restore_crawl_state(self, state: _SBState, payload: dict) -> None:
+        """Inverse of :meth:`_checkpoint_payload`; fails loudly when the
+        checkpoint belongs to a different crawler or site."""
+        from repro.checkpoint.store import CheckpointError
+
+        if payload.get("kind") != "sb-crawl":
+            raise CheckpointError(
+                f"checkpoint kind {payload.get('kind')!r} is not an "
+                "sb-crawl snapshot"
+            )
+        if payload.get("crawler") != self.name or (
+            payload.get("site") != state.env.graph.name
+        ):
+            raise CheckpointError(
+                f"checkpoint is for {payload.get('crawler')!r} on "
+                f"{payload.get('site')!r}, not {self.name!r} on "
+                f"{state.env.graph.name!r}"
+            )
+        parts = payload["components"]
+        state.frontier.restore_state(parts["frontier"])
+        state.bandit.restore_state(parts["bandit"])
+        state.actions.restore_state(parts["actions"])
+        state.vectorizer.restore_state(parts["vectorizer"])
+        if parts["classifier"] is not None:
+            if not isinstance(state.classifier, OnlineUrlClassifier):
+                raise CheckpointError(
+                    "checkpoint carries classifier state but this "
+                    "crawler runs with the oracle classifier"
+                )
+            state.classifier.restore_state(parts["classifier"])
+        if parts["monitor"] is not None:
+            if state.monitor is None:
+                raise CheckpointError(
+                    "checkpoint carries early-stopping state but this "
+                    "crawler has early stopping disabled"
+                )
+            state.monitor.restore_state(parts["monitor"])
+        state.client.restore_state(parts["client"])
+        state.confusion.restore_state(parts["confusion"])
+        state.robots.restore_state(parts["robots"])
+        crawl = parts["crawl"]
+        state.t = crawl["t"]
+        state.visited = set(crawl["visited"])
+        state.seen = set(crawl["seen"])
+        state.targets = set(crawl["targets"])
+        state.dead_letters = list(crawl["dead_letters"])
+        state.requeues = dict(crawl["requeues"])
 
     # -- Algorithm 4 -----------------------------------------------------------
 

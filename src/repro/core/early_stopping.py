@@ -92,3 +92,27 @@ class EarlyStoppingMonitor:
     @property
     def stopped(self) -> bool:
         return self.triggered_at is not None
+
+    # -- checkpointing (repro.checkpoint) --------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "ramped_up": self._ramped_up,
+            "last_count": self._last_count,
+            "ema": self._ema,
+            "consecutive_low": self._consecutive_low,
+            "iterations": self._iterations,
+            "triggered_at": self.triggered_at,
+            "history": [[iteration, ema] for iteration, ema in self.history],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._ramped_up = state["ramped_up"]
+        self._last_count = state["last_count"]
+        self._ema = state["ema"]
+        self._consecutive_low = state["consecutive_low"]
+        self._iterations = state["iterations"]
+        self.triggered_at = state["triggered_at"]
+        self.history = [
+            (iteration, ema) for iteration, ema in state["history"]
+        ]

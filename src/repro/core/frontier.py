@@ -234,3 +234,45 @@ class Frontier:
     def size_of(self, action_id: int) -> int:
         pool = self._pools.get(action_id)
         return len(pool) if pool is not None else 0
+
+    # -- checkpointing (repro.checkpoint) --------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Pools in slot (creation) order with their ``_items`` verbatim
+        — swap-pop order is sampling order, so it must survive — plus
+        the exact RNG stream position."""
+        from repro.checkpoint.codec import encode_rng_state
+
+        return {
+            "rng": encode_rng_state(self._rng),
+            "pools": [
+                [action_id, list(self._pools[action_id]._items)]
+                for action_id in self._slot_action
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild every derived structure (positions, Fenwick tree,
+        awake count) from the pool lists; the RNG continues mid-stream."""
+        from repro.checkpoint.codec import decode_rng_state
+
+        self._pools = {}
+        self._url_action = {}
+        self._total = 0
+        self._slot_of = {}
+        self._slot_action = []
+        self._sizes = _SizeFenwick()
+        self._n_awake = 0
+        for action_id, items in state["pools"]:
+            pool = _RandomPool()
+            self._pools[action_id] = pool
+            self._slot_of[action_id] = self._sizes.append()
+            self._slot_action.append(action_id)
+            for url in items:
+                pool.add(url)
+                self._url_action[url] = action_id
+            self._sizes.add(self._slot_of[action_id], len(items))
+            self._total += len(items)
+            if items:
+                self._n_awake += 1
+        self._rng.setstate(decode_rng_state(state["rng"]))

@@ -211,6 +211,59 @@ class OnlineUrlClassifier:
         prediction = self.model.predict(self._features(url, context))
         return UrlClass.TARGET if prediction == 1 else UrlClass.HTML
 
+    # -- checkpointing (repro.checkpoint) --------------------------------
+
+    @staticmethod
+    def _encode_batch(batch: _Batch) -> dict:
+        from repro.checkpoint.codec import encode_array
+
+        return {
+            "vectors": [
+                [encode_array(v.indices), encode_array(v.values), v.dim]
+                for v in batch.vectors
+            ],
+            "labels": list(batch.labels),
+        }
+
+    @staticmethod
+    def _decode_batch(payload: dict) -> _Batch:
+        from repro.checkpoint.codec import decode_array
+
+        return _Batch(
+            vectors=[
+                HashedVector(decode_array(indices), decode_array(values), dim)
+                for indices, values, dim in payload["vectors"]
+            ],
+            labels=list(payload["labels"]),
+        )
+
+    def snapshot_state(self) -> dict:
+        return {
+            "model": self.model.snapshot_state(),
+            "initial_training_phase": self.initial_training_phase,
+            "n_batches_trained": self.n_batches_trained,
+            "class_seen": list(self._class_seen),
+            "batch": self._encode_batch(self._batch),
+            "replay": self._encode_batch(self._replay),
+            "prequential": {
+                "total": self._prequential_total,
+                "correct": self._prequential_correct,
+                "window": list(self._prequential_window),
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.model.restore_state(state["model"])
+        self.initial_training_phase = state["initial_training_phase"]
+        self.n_batches_trained = state["n_batches_trained"]
+        self._class_seen = list(state["class_seen"])
+        self._batch = self._decode_batch(state["batch"])
+        self._replay = self._decode_batch(state["replay"])
+        prequential = state["prequential"]
+        self._prequential_total = prequential["total"]
+        self._prequential_correct = prequential["correct"]
+        self._prequential_window = list(prequential["window"])
+
 
 class OracleUrlClassifier:
     """Perfect URL classification from the ground-truth graph.

@@ -270,3 +270,47 @@ class HttpClient:
         if cost_model == "volume":
             return float(self.ledger.bytes_total)
         raise ValueError(f"unknown cost model: {cost_model}")
+
+    # -- checkpointing (repro.checkpoint) --------------------------------
+
+    def snapshot_state(self) -> dict:
+        from repro.checkpoint.codec import encode_rng_state
+
+        return {
+            "ledger": self.ledger.snapshot_state(),
+            "retries_used": self.retries_used,
+            "retry_rng": (
+                encode_rng_state(self._retry_rng)
+                if self._retry_rng is not None
+                else None
+            ),
+            "trace": {
+                "records": [
+                    [r.method, r.url, r.status, r.size, r.is_target]
+                    for r in self.trace.records
+                ],
+                "stopped_early_at": self.trace.stopped_early_at,
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.checkpoint.codec import decode_rng_state
+
+        self.ledger.restore_state(state["ledger"])
+        self.retries_used = state["retries_used"]
+        if state["retry_rng"] is not None:
+            if self._retry_rng is None:
+                raise ValueError(
+                    "checkpoint carries retry-jitter RNG state but this "
+                    "client has no retry policy"
+                )
+            self._retry_rng.setstate(decode_rng_state(state["retry_rng"]))
+        trace = state["trace"]
+        self.trace.records = [
+            CrawlRecord(
+                method=method, url=url, status=status, size=size,
+                is_target=is_target,
+            )
+            for method, url, status, size, is_target in trace["records"]
+        ]
+        self.trace.stopped_early_at = trace["stopped_early_at"]

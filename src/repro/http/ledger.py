@@ -100,3 +100,27 @@ class CostLedger:
             n_retries=self.n_retries,
             wait_seconds=self.wait_seconds,
         )
+
+    # -- checkpointing (repro.checkpoint) --------------------------------
+    # (``snapshot`` above predates the protocol and means "defensive
+    # copy" — hence the distinct ``snapshot_state`` name.)
+
+    def snapshot_state(self) -> dict:
+        return {
+            "n_get": self.n_get,
+            "n_head": self.n_head,
+            "bytes_total": self.bytes_total,
+            "bytes_target": self.bytes_target,
+            "bytes_non_target": self.bytes_non_target,
+            "n_retries": self.n_retries,
+            "wait_seconds": self.wait_seconds,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.n_get = state["n_get"]
+        self.n_head = state["n_head"]
+        self.bytes_total = state["bytes_total"]
+        self.bytes_target = state["bytes_target"]
+        self.bytes_non_target = state["bytes_non_target"]
+        self.n_retries = state["n_retries"]
+        self.wait_seconds = state["wait_seconds"]

@@ -43,6 +43,22 @@ class RobotsPolicy:
                 best_disallow = max(best_disallow, len(rule))
         return best_allow >= best_disallow
 
+    # -- checkpointing (repro.checkpoint) ----------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "disallow": list(self.disallow),
+            "allow": list(self.allow),
+            "crawl_delay": self.crawl_delay,
+            "sitemaps": list(self.sitemaps),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.disallow = list(state["disallow"])
+        self.allow = list(state["allow"])
+        self.crawl_delay = state["crawl_delay"]
+        self.sitemaps = list(state["sitemaps"])
+
 
 def parse_robots_txt(text: str, user_agent: str = "*") -> RobotsPolicy:
     """Parse robots.txt, honouring the group matching ``user_agent`` (or

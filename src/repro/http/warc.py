@@ -42,10 +42,18 @@ class WarcRecord:
 class WarcWriter:
     """Append-only writer of simplified WARC records."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, resume: bool = False) -> None:
         self.path = Path(path)
-        self._handle = self.path.open("a", encoding="utf-8", newline="\n")
         self._count = 0
+        if resume and self.path.exists() and self.path.stat().st_size > 0:
+            # Continue record numbering where the interrupted run left
+            # off, so resumed archives never reuse a record id.
+            self._count = sum(1 for _ in read_warc(self.path))
+        self._handle = self.path.open("a", encoding="utf-8", newline="\n")
+
+    @property
+    def n_records(self) -> int:
+        return self._count
 
     def __enter__(self) -> "WarcWriter":
         return self
@@ -78,6 +86,50 @@ class WarcWriter:
         self._handle.write(payload)
         self._handle.write("\n\n")
         return record_id
+
+    # -- checkpointing (repro.checkpoint) ----------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"n_records": self._count}
+
+    def restore_state(self, state: dict) -> None:
+        self._count = state["n_records"]
+
+
+def truncate_warc(path: str | Path, n_records: int) -> None:
+    """Rewind a WARC file to its first ``n_records`` records
+    (resume-from-checkpoint: drop records written after the snapshot).
+
+    Fails loudly if the file holds fewer than ``n_records`` records —
+    that means the checkpoint and the archive drifted apart.
+    """
+    path = Path(path)
+    records = list(read_warc(path))
+    if len(records) < n_records:
+        raise ValueError(
+            f"cannot rewind {path} to {n_records} records: "
+            f"only {len(records)} present"
+        )
+    with path.open("w", encoding="utf-8", newline="\n") as handle:
+        writer_count = 0
+        for record in records[:n_records]:
+            writer_count += 1
+            payload = record.payload
+            fields = [
+                ("WARC-Type", "response"),
+                ("WARC-Record-ID", record.record_id),
+                ("WARC-Target-URI", record.url),
+                ("WARC-Payload-Digest", f"sha1:{record.digest()}"),
+                ("X-HTTP-Status", str(record.status)),
+                ("Content-Type", record.mime_type or "application/octet-stream"),
+                ("Content-Length", str(len(payload.encode("utf-8")))),
+            ]
+            handle.write(_HEADER + "\n")
+            for key, value in fields:
+                handle.write(f"{key}: {value}\n")
+            handle.write("\n")
+            handle.write(payload)
+            handle.write("\n\n")
 
 
 def read_warc(path: str | Path) -> Iterator[WarcRecord]:

@@ -30,6 +30,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "html": 10,
     "ml": 10,
     "sd": 10,
+    "checkpoint": 10,  # codec/store substrate; core and campaign snapshot into it
     "analysis": 10,
     "obs": 10,  # events/metrics are substrate; report replay peers with analysis
     "http": 20,

@@ -262,7 +262,9 @@ class _FunctionWalker(ast.NodeVisitor):
 
 
 def _function_effect_fact(qualname: str, func: ast.AST,
-                          mutables: set[str]) -> EffectFact:
+                          mutables: set[str],
+                          sanctioned_lines: frozenset[int] = frozenset(),
+                          ) -> EffectFact:
     own = list(_own_nodes(func))
     declared_global: set[str] = set()
     bound: set[str] = {a.arg for a in ast.walk(func.args)  # type: ignore[attr-defined]
@@ -345,7 +347,13 @@ def _function_effect_fact(qualname: str, func: ast.AST,
     local = PURE
     for site in sites:
         if site.kind == "io":
-            local = join_effects(local, IO)
+            # A ``noqa[CONC005]`` marker sanctions the io site (e.g. the
+            # checkpoint store's atomic writes): CONC005 still reports
+            # it — keeping FLOW004's used-marker accounting honest — but
+            # the sanctioned site no longer poisons the effect lattice,
+            # so transitive callers stay replayable in the certificate.
+            if site.line not in sanctioned_lines:
+                local = join_effects(local, IO)
         elif site.kind in ("mutate", "global-write"):
             local = join_effects(local, MUTATES)
         else:
@@ -381,12 +389,21 @@ def _module_rng_streams(tree: ast.Module) -> list[RngStreamFact]:
     return streams
 
 
-def collect_effects(tree: ast.Module) -> ModuleEffects:
-    """The per-file half: one :class:`EffectFact` per function."""
+def collect_effects(tree: ast.Module,
+                    sanctioned_lines: frozenset[int] = frozenset(),
+                    ) -> ModuleEffects:
+    """The per-file half: one :class:`EffectFact` per function.
+
+    ``sanctioned_lines`` holds the line numbers carrying an explicit
+    ``# repro: noqa[CONC005]`` marker: io sites there are deliberate
+    (the durable-checkpoint store), stay visible to CONC005 itself, but
+    are excluded from the function's ``local_effect``.
+    """
     mutables = _module_mutables(tree)
     walker = _FunctionWalker()
     walker.visit(tree)
-    facts = [_function_effect_fact(qualname, func, mutables)
+    facts = [_function_effect_fact(qualname, func, mutables,
+                                   sanctioned_lines)
              for qualname, func in walker.functions]
     return ModuleEffects(
         functions=facts,

@@ -332,7 +332,7 @@ class Linter:
                           tree=tree)
         _Dispatcher(self._handlers, ctx).visit(tree)
         df_facts = self._run_dataflow(tree, ctx)
-        effect_facts = self._run_effects(tree)
+        effect_facts = self._run_effects(tree, ctx)
         return CachedFile(
             sha=sha,
             findings=sorted(ctx.findings),
@@ -366,14 +366,25 @@ class Linter:
         self._df_seconds += time.perf_counter() - started
         return df_facts
 
-    def _run_effects(self, tree: ast.AST):
-        """Phase 4 per-file half: effect sites, callees, RNG streams."""
+    def _run_effects(self, tree: ast.AST, ctx: FileContext):
+        """Phase 4 per-file half: effect sites, callees, RNG streams.
+
+        Lines carrying an explicit ``noqa[CONC005]`` marker are passed
+        down as sanctioned io: the site still produces its CONC005
+        finding (which the marker then suppresses — FLOW004 stays
+        honest) but no longer drives the function's effect to
+        ``performs-io`` in the lattice.
+        """
         if not self.conc_rules:
             return None
         from repro.lint.effects import collect_effects
 
         started = time.perf_counter()
-        effect_facts = collect_effects(tree)
+        sanctioned = frozenset(
+            line for line, codes in ctx._noqa.items()
+            if codes is not None and "CONC005" in codes
+        )
+        effect_facts = collect_effects(tree, sanctioned_lines=sanctioned)
         self._effects_seconds += time.perf_counter() - started
         return effect_facts
 

@@ -51,6 +51,26 @@ class _LinearModel:
             for i in indices:
                 yield batch[i], labels[i]
 
+    # -- checkpointing (repro.checkpoint) --------------------------------
+
+    def snapshot_state(self) -> dict:
+        from repro.checkpoint.codec import encode_array, encode_rng_state
+
+        return {
+            "weights": encode_array(self.weights),
+            "bias": self.bias,
+            "n_updates": self.n_updates,
+            "rng": encode_rng_state(self._rng),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.checkpoint.codec import decode_array, decode_rng_state
+
+        self.weights = decode_array(state["weights"])
+        self.bias = state["bias"]
+        self.n_updates = state["n_updates"]
+        self._rng.setstate(decode_rng_state(state["rng"]))
+
 
 class LogisticRegressionSGD(_LinearModel):
     """Binary logistic regression trained by mini-batch SGD (Algorithm 2)."""

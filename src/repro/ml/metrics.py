@@ -72,3 +72,21 @@ class ConfusionMatrix:
         return [
             [self.percentage(t, p) for p in self.labels] for t in self.labels
         ]
+
+    # -- checkpointing (repro.checkpoint) --------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Cells as (true, predicted, count) triples in first-observation
+        order, so iteration-order-sensitive folds survive restore."""
+        return {
+            "counts": [
+                [true_label, predicted_label, count]
+                for (true_label, predicted_label), count in self.counts.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.counts = {
+            (true_label, predicted_label): count
+            for true_label, predicted_label, count in state["counts"]
+        }

@@ -53,3 +53,23 @@ class MultinomialNaiveBayes:
 
     def predict_many(self, xs: list[HashedVector]) -> list[int]:
         return [self.predict(x) for x in xs]
+
+    # -- checkpointing (repro.checkpoint) --------------------------------
+
+    def snapshot_state(self) -> dict:
+        from repro.checkpoint.codec import encode_array
+
+        return {
+            "feature_counts": encode_array(self.feature_counts),
+            "class_counts": encode_array(self.class_counts),
+            "total_counts": encode_array(self.total_counts),
+            "n_updates": self.n_updates,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.checkpoint.codec import decode_array
+
+        self.feature_counts = decode_array(state["feature_counts"])
+        self.class_counts = decode_array(state["class_counts"])
+        self.total_counts = decode_array(state["total_counts"])
+        self.n_updates = state["n_updates"]

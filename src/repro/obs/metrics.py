@@ -229,6 +229,48 @@ class MetricsRegistry:
             self._instruments[name].render() for name in self.names()
         )
 
+    # -- checkpointing (repro.checkpoint) --------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Full instrument state (``as_dict`` is lossy for histograms)
+        in registration order."""
+        instruments = []
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Histogram):
+                instruments.append([name, "histogram", {
+                    "help": instrument.help,
+                    "buckets": list(instrument.buckets),
+                    "counts": list(instrument.counts),
+                    "total": instrument.total,
+                    "n": instrument.n,
+                }])
+            elif isinstance(instrument, Counter):
+                instruments.append([name, "counter", {
+                    "help": instrument.help, "value": instrument.value,
+                }])
+            else:
+                instruments.append([name, "gauge", {
+                    "help": instrument.help, "value": instrument.value,
+                }])
+        return {"instruments": instruments}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore values *into* existing instruments where names match
+        (observers hold direct instrument references) and create the
+        rest, preserving the snapshot's registration order."""
+        for name, kind, payload in state["instruments"]:
+            if kind == "histogram":
+                instrument = self.histogram(
+                    name, tuple(payload["buckets"]), payload["help"]
+                )
+                instrument.counts = list(payload["counts"])
+                instrument.total = payload["total"]
+                instrument.n = payload["n"]
+            elif kind == "counter":
+                self.counter(name, payload["help"]).value = payload["value"]
+            else:
+                self.gauge(name, payload["help"]).value = payload["value"]
+
 
 # -- the event -> metric fold ----------------------------------------------
 
@@ -364,3 +406,15 @@ class MetricsObserver:
         if requests <= 0 or math.isinf(requests):
             return 0.0
         return self._targets.value / requests
+
+    # -- checkpointing (repro.checkpoint) --------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "registry": self.registry.snapshot_state(),
+            "last_target_ordinal": self._last_target_ordinal,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.registry.restore_state(state["registry"])
+        self._last_target_ordinal = state["last_target_ordinal"]

@@ -54,6 +54,18 @@ class MemorySink:
     def clear(self) -> None:
         self.events.clear()
 
+    def truncate_to(self, n_events: int) -> None:
+        """Drop events past ``n_events`` (resume-from-checkpoint rewind)."""
+        del self.events[n_events:]
+
+    # -- checkpointing (repro.checkpoint) ----------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"n_events": len(self.events)}
+
+    def restore_state(self, state: dict) -> None:
+        self.truncate_to(state["n_events"])
+
 
 class JsonlSink:
     """Streams events to a JSONL file; use as a context manager (or call
@@ -70,11 +82,28 @@ class JsonlSink:
     enabled = True
 
     def __init__(
-        self, path: str | Path, meta: dict[str, object] | None = None
+        self,
+        path: str | Path,
+        meta: dict[str, object] | None = None,
+        append: bool = False,
     ) -> None:
         self.path = Path(path)
         self.n_events = 0
-        # buffering=1 = line-buffered text mode: each "\n" flushes.
+        if append and self.path.exists() and self.path.stat().st_size > 0:
+            # Resume mode: keep the existing header and events (the
+            # caller has already rewound the file to the checkpoint with
+            # :func:`truncate_events`) and continue the stream in place.
+            with self.path.open("r", encoding="utf-8") as handle:
+                header = json.loads(handle.readline())
+                if header.get("format") != FORMAT_VERSION:
+                    raise ValueError(
+                        f"cannot append to {self.path}: unsupported "
+                        f"format {header.get('format')!r}"
+                    )
+                self.n_events = sum(1 for line in handle if line.strip())
+            # buffering=1 = line-buffered text mode: each "\n" flushes.
+            self._handle = self.path.open("a", encoding="utf-8", buffering=1)
+            return
         self._handle = self.path.open("w", encoding="utf-8", buffering=1)
         header = {"format": FORMAT_VERSION, "stream": STREAM_TAG}
         if meta:
@@ -112,6 +141,48 @@ class JsonlSink:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # -- checkpointing (repro.checkpoint) ----------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"n_events": self.n_events}
+
+    def restore_state(self, state: dict) -> None:
+        """Verify the reopened file already sits at the snapshot's event
+        count (the caller rewinds with :func:`truncate_events` and
+        reopens with ``append=True`` before restoring)."""
+        if self.n_events != state["n_events"]:
+            raise ValueError(
+                f"trace {self.path} holds {self.n_events} events but the "
+                f"checkpoint recorded {state['n_events']}: rewind it with "
+                "truncate_events before resuming"
+            )
+
+
+def truncate_events(path: str | Path, n_events: int) -> None:
+    """Rewind a JSONL event trace to its header plus first ``n_events``
+    event lines (resume-from-checkpoint: drop events emitted after the
+    snapshot so the resumed run can append without duplicates).
+
+    Fails loudly if the file holds fewer than ``n_events`` events —
+    that means the checkpoint and the trace drifted apart.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:  # repro: noqa[CONC005] rewinding this shard's own trace
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise ValueError(f"empty event trace: {path}")
+    header, events = lines[0], lines[1:]
+    if json.loads(header).get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported event-trace format in {path}")
+    if len(events) < n_events:
+        raise ValueError(
+            f"cannot rewind {path} to {n_events} events: "
+            f"only {len(events)} present"
+        )
+    with path.open("w", encoding="utf-8") as handle:  # repro: noqa[CONC005] rewinding this shard's own trace
+        handle.write(header)
+        handle.writelines(events[:n_events])
 
 
 def read_events(path: str | Path) -> tuple[dict[str, object], list[CrawlEvent]]:

@@ -1,0 +1,294 @@
+"""Kill-and-resume byte-equivalence (the docs/checkpoint.md guarantee).
+
+Stop a crawl at step k, resume it from the final checkpoint, and the
+result must be byte-identical to a run that was never interrupted —
+crawl fingerprint, JSONL event stream, ledger, and (for campaigns) the
+merged report.  ``interrupt_at`` and a deterministic countdown flag
+stand in for SIGTERM so the sweep needs no signals or subprocesses.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, SerialBackend, run_campaign
+from repro.campaign.workers import ShardTask, run_shard
+from repro.checkpoint import (
+    CheckpointStore,
+    CrawlCheckpointer,
+    CrawlInterrupted,
+    canonical_json,
+)
+from repro.core.crawler import SBConfig, sb_classifier
+from repro.http.environment import CrawlEnvironment
+from repro.webgraph.sites import load_paper_site
+
+SITE = "be"
+SCALE = 0.1
+BUDGET = 120.0
+
+
+def _fingerprint(result):
+    """Everything observable about a crawl, as canonical bytes."""
+    return canonical_json({
+        "visited": sorted(result.visited),
+        "targets": sorted(result.targets),
+        "dead_letters": list(result.dead_letters),
+        "stopped_early": result.stopped_early,
+        "records": [
+            [r.method, r.url, r.status, r.size, r.is_target]
+            for r in result.trace.records
+        ],
+    })
+
+
+def _sb_env():
+    return CrawlEnvironment(load_paper_site(SITE, scale=SCALE))
+
+
+def _sb_reference():
+    return _fingerprint(
+        sb_classifier(SBConfig(seed=3)).crawl(_sb_env(), budget=BUDGET)
+    )
+
+
+@pytest.mark.parametrize("k", [1, 5, 15, 33])
+def test_sb_crawl_interrupt_resume_is_byte_identical(k, tmp_path):
+    reference = _sb_reference()
+    store = CheckpointStore(tmp_path)
+
+    interrupted = CrawlCheckpointer(store=store, every=7, interrupt_at=k)
+    with pytest.raises(CrawlInterrupted) as exc_info:
+        sb_classifier(SBConfig(seed=3)).crawl(
+            _sb_env(), budget=BUDGET, checkpoint=interrupted
+        )
+    assert exc_info.value.step == k
+
+    resumed = CrawlCheckpointer(store=store, every=7)
+    resumed.arm_resume(store.read_latest())
+    result = sb_classifier(SBConfig(seed=3)).crawl(
+        _sb_env(), budget=BUDGET, checkpoint=resumed
+    )
+    assert _fingerprint(result) == reference
+
+
+def test_double_interrupt_then_resume(tmp_path):
+    """Two kills at different depths, then a final resume: still
+    byte-identical — restart-after-restart must not drift."""
+    reference = _sb_reference()
+    store = CheckpointStore(tmp_path)
+
+    first = CrawlCheckpointer(store=store, every=5, interrupt_at=10)
+    with pytest.raises(CrawlInterrupted):
+        sb_classifier(SBConfig(seed=3)).crawl(
+            _sb_env(), budget=BUDGET, checkpoint=first
+        )
+    second = CrawlCheckpointer(store=store, every=5, interrupt_at=25)
+    second.arm_resume(store.read_latest())
+    with pytest.raises(CrawlInterrupted):
+        sb_classifier(SBConfig(seed=3)).crawl(
+            _sb_env(), budget=BUDGET, checkpoint=second
+        )
+    final = CrawlCheckpointer(store=store, every=5)
+    final.arm_resume(store.read_latest())
+    result = sb_classifier(SBConfig(seed=3)).crawl(
+        _sb_env(), budget=BUDGET, checkpoint=final
+    )
+    assert _fingerprint(result) == reference
+
+
+def test_resume_does_not_duplicate_periodic_checkpoints(tmp_path):
+    """The resume step was already saved by the interrupted run: the
+    resumed run must not write a second checkpoint for it."""
+    store = CheckpointStore(tmp_path)
+    ckpt = CrawlCheckpointer(store=store, every=10, interrupt_at=30)
+    with pytest.raises(CrawlInterrupted):
+        sb_classifier(SBConfig(seed=3)).crawl(
+            _sb_env(), budget=BUDGET, checkpoint=ckpt
+        )
+    resumed = CrawlCheckpointer(store=store, every=10, interrupt_at=31)
+    resumed.arm_resume(store.read_latest())
+    n_before = len(store.read_all())
+    with pytest.raises(CrawlInterrupted):
+        sb_classifier(SBConfig(seed=3)).crawl(
+            _sb_env(), budget=BUDGET, checkpoint=resumed
+        )
+    steps = [entry.step for entry in store.read_all()]
+    assert len(steps) == len(set(steps)), f"duplicate checkpoint steps: {steps}"
+    assert len(store.read_all()) > 0 and n_before > 0
+
+
+@pytest.mark.parametrize("crawler_name", ["BFS", "RANDOM"])
+def test_baseline_crawl_interrupt_resume(crawler_name, tmp_path):
+    from repro.baselines import BFSCrawler, RandomCrawler
+
+    def run(checkpoint=None):
+        crawler = (
+            BFSCrawler() if crawler_name == "BFS" else RandomCrawler(seed=3)
+        )
+        return crawler.crawl(_sb_env(), budget=BUDGET, checkpoint=checkpoint)
+
+    reference = _fingerprint(run())
+    store = CheckpointStore(tmp_path)
+    with pytest.raises(CrawlInterrupted):
+        run(CrawlCheckpointer(store=store, every=6, interrupt_at=25))
+    resumed = CrawlCheckpointer(store=store, every=6)
+    resumed.arm_resume(store.read_latest())
+    assert _fingerprint(run(resumed)) == reference
+
+
+class CountdownFlag:
+    """Deterministic ShutdownFlag stand-in: set after N is_set() calls."""
+
+    def __init__(self, trip_after: int) -> None:
+        self.remaining = trip_after
+
+    def is_set(self) -> bool:
+        self.remaining -= 1
+        return self.remaining < 0
+
+    def set(self) -> None:
+        self.remaining = 0
+
+
+def _shard_task(tmp_path, resume=False):
+    return ShardTask(
+        shard_id=0, sites=("be", "cl"), crawler="SB-CLASSIFIER", seed=5,
+        scale=SCALE, budget=BUDGET, trace_dir=str(tmp_path / "traces"),
+        checkpoint_dir=str(tmp_path / "ckpt"), checkpoint_every=15,
+        resume=resume,
+    )
+
+
+def test_run_shard_interrupt_resume_is_byte_identical(tmp_path):
+    (tmp_path / "traces").mkdir()
+    reference_task = ShardTask(
+        shard_id=0, sites=("be", "cl"), crawler="SB-CLASSIFIER", seed=5,
+        scale=SCALE, budget=BUDGET,
+        trace_dir=str(tmp_path / "ref-traces"),
+    )
+    (tmp_path / "ref-traces").mkdir()
+    reference = run_shard(reference_task)
+
+    interrupted = run_shard(
+        _shard_task(tmp_path), shutdown=CountdownFlag(60)
+    )
+    assert interrupted.status == "interrupted"
+
+    resumed = run_shard(_shard_task(tmp_path, resume=True))
+    assert resumed.status == "completed"
+    assert [s.site for s in resumed.sites] == [s.site for s in reference.sites]
+    for site_resumed, site_reference in zip(resumed.sites, reference.sites):
+        assert site_resumed == site_reference
+    # the JSONL traces must also be byte-identical, with no duplicated
+    # events from the interrupted attempt
+    for name in ("be", "cl"):
+        trace_name = f"{name}-SB-CLASSIFIER-s5.jsonl"
+        resumed_trace = (tmp_path / "traces" / trace_name).read_bytes()
+        reference_trace = (tmp_path / "ref-traces" / trace_name).read_bytes()
+        assert resumed_trace == reference_trace, f"trace drift on {name}"
+
+
+def _campaign_spec(trace_dir=None):
+    return CampaignSpec(
+        sites=("be", "cl", "cn"), crawler="SB-CLASSIFIER", seed=5,
+        scale=SCALE, budget=BUDGET, n_shards=2, n_workers=2,
+        trace_dir=trace_dir,
+    )
+
+
+def test_campaign_interrupt_resume_matches_uninterrupted_report(tmp_path):
+    reference = run_campaign(_campaign_spec(), backend=SerialBackend())
+    assert not reference.partial
+
+    checkpoint_dir = str(tmp_path / "ckpt")
+    flag = CountdownFlag(50)
+    partial = run_campaign(
+        _campaign_spec(), backend=SerialBackend(shutdown=flag),
+        checkpoint_dir=checkpoint_dir, checkpoint_every=15,
+    )
+    assert partial.partial, "the countdown flag must interrupt mid-campaign"
+
+    resumed = run_campaign(
+        _campaign_spec(), backend=SerialBackend(),
+        checkpoint_dir=checkpoint_dir, checkpoint_every=15, resume=True,
+    )
+    assert not resumed.partial
+    assert resumed.to_json() == reference.to_json()
+
+
+def test_checkpoint_params_do_not_change_the_report_digest(tmp_path):
+    """Checkpointing disarmed vs armed: same digest — the config block
+    must not leak checkpoint parameters into the canonical report."""
+    plain = run_campaign(_campaign_spec(), backend=SerialBackend())
+    checkpointed = run_campaign(
+        _campaign_spec(), backend=SerialBackend(),
+        checkpoint_dir=str(tmp_path / "ckpt"), checkpoint_every=15,
+    )
+    assert checkpointed.to_json() == plain.to_json()
+
+
+def test_crawler_without_checkpoint_support_still_resumes_shard(tmp_path):
+    """FOCUSED has no frontier snapshot: an interrupted shard restarts
+    the in-flight site from scratch but keeps completed sites — and the
+    final outcome still matches the uninterrupted run."""
+    def task(resume=False):
+        return ShardTask(
+            shard_id=0, sites=("be", "cl"), crawler="FOCUSED", seed=5,
+            scale=SCALE, budget=BUDGET,
+            checkpoint_dir=str(tmp_path / "ckpt"), checkpoint_every=10,
+            resume=resume,
+        )
+
+    reference = run_shard(
+        ShardTask(shard_id=0, sites=("be", "cl"), crawler="FOCUSED",
+                  seed=5, scale=SCALE, budget=BUDGET)
+    )
+    interrupted = run_shard(task(), shutdown=CountdownFlag(60))
+    assert interrupted.status == "interrupted"
+    resumed = run_shard(task(resume=True))
+    assert resumed.status == "completed"
+    assert resumed.sites == reference.sites
+
+
+def test_trace_truncation_rejects_bad_inputs(tmp_path):
+    from repro.obs.sinks import JsonlSink, truncate_events
+
+    path = tmp_path / "t.jsonl"
+    with pytest.raises((FileNotFoundError, ValueError)):
+        truncate_events(path, 0)        # missing file
+
+    from repro.obs.events import TargetFound
+
+    with JsonlSink(path, meta={"site": SITE}) as sink:
+        for n in range(4):
+            sink.on_event(
+                TargetFound(ordinal=n, url=f"u{n}", n_targets=n + 1)
+            )
+    with pytest.raises(ValueError):
+        truncate_events(path, 9)        # more events than the file holds
+    truncate_events(path, 2)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 3              # header + 2 events
+
+
+def test_jsonl_sink_append_mode_continues_event_stream(tmp_path):
+    from repro.obs.events import TargetFound
+    from repro.obs.sinks import JsonlSink
+
+    path = tmp_path / "t.jsonl"
+    with JsonlSink(path, meta={"site": SITE}) as sink:
+        for n in range(3):
+            sink.on_event(
+                TargetFound(ordinal=n, url=f"u{n}", n_targets=n + 1)
+            )
+        snapshot = json.loads(canonical_json(sink.snapshot_state()))
+
+    with JsonlSink(path, append=True) as sink:
+        sink.restore_state(snapshot)    # counts match: no error
+        sink.on_event(TargetFound(ordinal=3, url="u3", n_targets=4))
+    assert len(path.read_text().splitlines()) == 5
+
+    with JsonlSink(path, append=True) as sink:
+        with pytest.raises(ValueError):
+            sink.restore_state(snapshot)  # stale count must fail loudly

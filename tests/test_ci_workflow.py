@@ -23,9 +23,44 @@ def _load():
 def test_workflow_parses_and_declares_all_jobs():
     doc = _load()
     assert set(doc["jobs"]) == {
-        "tests", "lint", "shard-safety", "campaign-smoke", "precheck",
-        "bench", "bench-smoke",
+        "tests", "lint", "shard-safety", "campaign-smoke",
+        "resume-equivalence", "precheck", "bench", "bench-smoke",
     }
+
+
+def test_workflow_cancels_superseded_runs():
+    """A new push must cancel the in-flight run for the same ref instead
+    of queueing behind it."""
+    doc = _load()
+    concurrency = doc["concurrency"]
+    assert "${{ github.ref }}" in concurrency["group"]
+    assert concurrency["cancel-in-progress"] is True
+
+
+def test_every_job_has_a_timeout():
+    """A hung job must never hold the concurrency group for the runner
+    default of six hours — every job carries an explicit timeout."""
+    doc = _load()
+    for name, job in doc["jobs"].items():
+        minutes = job.get("timeout-minutes")
+        assert isinstance(minutes, int), f"job {name} has no timeout-minutes"
+        assert 0 < minutes <= 60, f"job {name} timeout out of range"
+
+
+def test_actions_are_pinned_to_full_version_tags():
+    """Every `uses:` reference must pin a full MAJOR.MINOR.PATCH tag —
+    floating major tags silently change the executed action."""
+    import re
+
+    doc = _load()
+    for name, job in doc["jobs"].items():
+        for step in job["steps"]:
+            uses = step.get("uses")
+            if uses is None:
+                continue
+            assert re.search(r"@v\d+\.\d+\.\d+$", uses), (
+                f"job {name}: unpinned action reference {uses!r}"
+            )
 
 
 def test_tests_job_runs_tier1_on_both_pythons():
@@ -119,6 +154,32 @@ def test_campaign_smoke_job_enforces_backend_equivalence():
     assert uploads[0]["if"] == "always()"
 
 
+def test_resume_equivalence_job_enforces_kill_and_resume_gate():
+    """The resume-equivalence job must (a) record an uninterrupted
+    reference through BOTH backends, (b) run a checkpointed campaign and
+    SIGTERM it, (c) resume with --resume and compare byte-for-byte
+    against the reference, and (d) upload the checkpoint dir only on
+    failure (docs/checkpoint.md)."""
+    doc = _load()
+    steps = doc["jobs"]["resume-equivalence"]["steps"]
+    commands = "\n".join(s.get("run", "") for s in steps)
+    assert "--backend both" in commands
+    assert "reference.json" in commands
+    assert "--checkpoint" in commands
+    assert "--checkpoint-every" in commands
+    assert "kill -TERM" in commands
+    assert "--resume" in commands
+    assert "resumed.json" in commands
+    # the interrupted run's exit 1 (partial report) must be tolerated
+    kill_step = next(s for s in steps if "kill -TERM" in s.get("run", ""))
+    assert "|| true" in kill_step["run"]
+    uploads = [s for s in steps
+               if "upload-artifact" in str(s.get("uses", ""))]
+    assert len(uploads) == 1
+    assert uploads[0]["if"] == "failure()"
+    assert "ckpt" in uploads[0]["with"]["path"]
+
+
 def test_bench_job_always_runs_and_uploads_trajectory_artifact():
     """The hot-path bench job must run on every CI event (no `if` gate),
     at reduced scale without enforcing the regression gate, and archive
@@ -148,19 +209,19 @@ def test_bench_smoke_enforces_gate_at_full_scale():
                   if "--gate-against" in s.get("run", "")]
     assert len(gate_steps) == 1
     step = gate_steps[0]
-    assert "bench_results/BENCH_8.json" in step["run"]
+    assert "bench_results/BENCH_9.json" in step["run"]
     # The gate only has meaning at full scale (cross-scale pages/sec are
     # not comparable) — the step must override the job-level smoke scale.
     assert float(step["env"]["REPRO_BENCH_SCALE"]) == 1.0
 
 
 def test_bench_baseline_document_is_committed():
-    """The gate needs a committed baseline: bench_results/BENCH_8.json
+    """The gate needs a committed baseline: bench_results/BENCH_9.json
     must exist, parse, and carry the gated number."""
     import json
 
     baseline = (Path(__file__).resolve().parent.parent
-                / "bench_results" / "BENCH_8.json")
+                / "bench_results" / "BENCH_9.json")
     assert baseline.exists(), "committed bench baseline missing"
     doc = json.loads(baseline.read_text())
     assert doc["schema_version"] == 1

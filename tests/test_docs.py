@@ -219,3 +219,34 @@ def test_campaign_doc_is_linked_from_entry_points():
                  "docs/observability.md", "docs/performance.md",
                  "docs/static_analysis.md"):
         assert "campaign.md" in (REPO / path).read_text(), path
+
+
+def test_checkpoint_doc_covers_api_and_manifest():
+    """docs/checkpoint.md names every ``repro.checkpoint.__all__``
+    export and every manifest field (drift gate for the durable-state
+    subsystem's schema and API)."""
+    import repro.checkpoint
+
+    doc = (REPO / "docs" / "checkpoint.md").read_text()
+    for name in repro.checkpoint.__all__:
+        assert f"`{name}`" in doc, f"{name} missing from docs/checkpoint.md"
+    for field in repro.checkpoint.MANIFEST_FIELDS:
+        assert f"`{field}`" in doc, f"manifest field {field} missing"
+
+
+def test_checkpoint_doc_documents_the_cli():
+    """The worked example must show the durable-campaign flags the CLI
+    actually accepts."""
+    doc = (REPO / "docs" / "checkpoint.md").read_text()
+    for flag in ("--checkpoint", "--checkpoint-every", "--resume"):
+        assert flag in doc, f"{flag} missing from docs/checkpoint.md"
+    assert "kill -TERM" in doc
+
+
+def test_checkpoint_doc_is_linked_from_entry_points():
+    """The checkpoint doc is reachable from the places a reader starts
+    at, and from the performance doc whose bench table references the
+    ``checkpoint`` section."""
+    for path in ("README.md", "docs/architecture.md", "docs/api.md",
+                 "docs/performance.md"):
+        assert "checkpoint.md" in (REPO / path).read_text(), path
